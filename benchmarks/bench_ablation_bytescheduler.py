@@ -1,0 +1,21 @@
+"""Ablation bench: ByteScheduler partition-size sensitivity (§4.2.1).
+
+See :func:`repro.experiments.extended.run_bytescheduler`.
+"""
+
+from conftest import report
+
+from repro.experiments.extended import BYTESCHEDULER_CHUNKS, run_bytescheduler
+
+
+def test_bytescheduler_ablation(benchmark):
+    result = benchmark.pedantic(run_bytescheduler, rounds=1, iterations=1)
+    report(result)
+    # Tiny chunks are the worst configuration.
+    assert result.data[BYTESCHEDULER_CHUNKS[0]] <= min(
+        result.data[c] for c in BYTESCHEDULER_CHUNKS[1:]
+    ) * 1.001
+    # EmbRace beats BytePS at every granularity.
+    assert result.data["embrace"] > max(
+        result.data[c] for c in BYTESCHEDULER_CHUNKS
+    )

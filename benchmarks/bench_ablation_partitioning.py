@@ -1,0 +1,17 @@
+"""Ablation bench: column-wise vs row-wise embedding partitioning.
+
+See :func:`repro.experiments.extended.run_partitioning` (§4.1.1's
+load-balance argument quantified end-to-end).
+"""
+
+from conftest import report
+
+from repro.experiments.extended import run_partitioning
+
+
+def test_partitioning_ablation(benchmark):
+    result = benchmark.pedantic(run_partitioning, rounds=1, iterations=1)
+    report(result)
+    for name, d in result.data.items():
+        assert d["column"] >= d["row"], name
+        assert d["skew"] > 1.0, name

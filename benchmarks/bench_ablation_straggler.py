@@ -1,0 +1,23 @@
+"""Ablation bench: straggler sensitivity of synchronous strategies.
+
+See :func:`repro.experiments.extended.run_straggler`.
+"""
+
+from conftest import report
+
+from repro.experiments.extended import (
+    STRAGGLER_SKEWS,
+    STRAGGLER_STRATEGIES,
+    run_straggler,
+)
+
+
+def test_straggler_ablation(benchmark):
+    result = benchmark.pedantic(run_straggler, rounds=1, iterations=1)
+    report(result)
+    for name in STRAGGLER_STRATEGIES:
+        times = [result.data[name][s] for s in STRAGGLER_SKEWS]
+        # Step time grows monotonically with the straggler factor...
+        assert all(b >= a - 1e-12 for a, b in zip(times, times[1:])), name
+        # ...but sub-linearly (part of the slowdown hides under comm).
+        assert times[-1] / times[0] < STRAGGLER_SKEWS[-1], name

@@ -1,0 +1,19 @@
+"""Extension bench: EmbRace combined with gradient compression (§6).
+
+See :func:`repro.experiments.extended.run_dgc`.
+"""
+
+from conftest import report
+
+from repro.experiments.extended import run_dgc
+
+
+def test_dgc_extension(benchmark):
+    result = benchmark.pedantic(run_dgc, rounds=1, iterations=1)
+    report(result)
+    for name, d in result.data.items():
+        # Compression never hurts in the model (smaller payloads).
+        assert d["dgc"] >= d["embrace"] * 0.999, name
+    # And it materially helps at least one model.
+    gains = {n: d["dgc"] / d["embrace"] for n, d in result.data.items()}
+    assert max(gains.values()) > 1.05

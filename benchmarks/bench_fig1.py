@@ -1,0 +1,12 @@
+"""Bench: Fig. 1 — real 3-worker sparse aggregation byte counts."""
+
+from conftest import report
+
+from repro.experiments import fig1
+
+
+def test_fig1(benchmark):
+    result = benchmark.pedantic(fig1.run, rounds=1, iterations=1)
+    report(result)
+    # AllReduce moves more bytes than sparse AllGather at this density.
+    assert result.data["allreduce_bytes"] > result.data["allgather_bytes"]

@@ -1,0 +1,19 @@
+"""Bench: Fig. 10 — scaling from 4 to 16 RTX3090 GPUs."""
+
+from conftest import report
+
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark):
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    report(result)
+    for name, d in result.data.items():
+        # Sub-linear but real scaling.
+        assert 1.5 < d["embrace_scaling"] < 4.05, name
+        # EmbRace's scaling is within a few percent of (or better than)
+        # the best-scaling baseline's.
+        assert d["embrace_scaling"] >= 0.9 * d["competitor_scaling"], name
+        # Throughput grows monotonically with the GPU count.
+        emb = d["embrace"]
+        assert emb[4] < emb[8] < emb[16], name

@@ -1,0 +1,17 @@
+"""Bench: Fig. 11 — real-execution convergence equivalence."""
+
+from conftest import report
+
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark):
+    result = benchmark.pedantic(fig11.run, rounds=1, iterations=1)
+    report(result)
+    ppl = result.data["lm_ppl"]
+    # The two strategies' PPL curves coincide exactly.
+    assert ppl["allgather"] == ppl["embrace"]
+    # And training actually converges.
+    assert ppl["embrace"][-1] < ppl["embrace"][0]
+    losses = result.data["gnmt_losses"]
+    assert losses["allgather"] == losses["embrace"]

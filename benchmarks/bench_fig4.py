@@ -1,0 +1,19 @@
+"""Bench: Fig. 4 — communication overhead vs sparsity sweeps."""
+
+import numpy as np
+from conftest import report
+
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark):
+    result = benchmark.pedantic(fig4.run, rounds=3, iterations=1)
+    report(result)
+    # (a) crossover in the paper's ~40% neighbourhood.
+    assert 0.30 <= result.data["crossover"] <= 0.55
+    # (b) AlltoAll best everywhere on the 4x1 topology.
+    sweep = result.data["sweep_b"]
+    others = np.vstack(
+        [sweep[s] for s in ("allreduce", "allgather", "omnireduce", "ps")]
+    )
+    assert np.all(sweep["alltoall"] <= others.min(axis=0) + 1e-12)

@@ -1,0 +1,12 @@
+"""Bench: Fig. 6 — step timelines of the three scheduling schemes."""
+
+from conftest import report
+
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark):
+    result = benchmark.pedantic(fig6.run, rounds=3, iterations=1)
+    report(result)
+    t = result.data
+    assert t["(a) Default (FIFO)"] >= t["(b) Horizontal"] >= t["(c) 2D Scheduling"]

@@ -1,0 +1,25 @@
+"""Bench: Fig. 7 — end-to-end throughput grid (the headline result)."""
+
+from conftest import report
+
+from repro.experiments import fig7
+from repro.experiments.fig7 import GPUS, STRATEGIES, WORLD_SIZES
+from repro.models import PAPER_MODELS
+
+
+def test_fig7(benchmark):
+    result = benchmark.pedantic(fig7.run, rounds=1, iterations=1)
+    report(result)
+    for gpu in GPUS:
+        for name in PAPER_MODELS:
+            cell = result.data[(gpu, name)]
+            for w in WORLD_SIZES:
+                best_baseline = max(
+                    cell["throughput"][s][w] for s in STRATEGIES if s != "EmbRace"
+                )
+                # The paper's central claim: EmbRace is fastest everywhere.
+                assert cell["throughput"]["EmbRace"][w] >= best_baseline, (
+                    gpu, name, w,
+                )
+            # Speedups stay within a sane multiple of the paper's band.
+            assert max(cell["speedups"].values()) < 5.0

@@ -1,0 +1,18 @@
+"""Bench: Fig. 8 — Computation Stall normalized by EmbRace (16 GPUs)."""
+
+from conftest import report
+
+from repro.experiments import fig8
+from repro.models import PAPER_MODELS
+
+
+def test_fig8(benchmark):
+    result = benchmark.pedantic(fig8.run, rounds=1, iterations=1)
+    report(result)
+    for gpu, stalls in result.data.items():
+        for model in PAPER_MODELS:
+            baselines = [
+                stalls[s][model] for s in stalls if s != "EmbRace"
+            ]
+            # EmbRace has the lowest Computation Stall in every cell.
+            assert min(baselines) >= stalls["EmbRace"][model], (gpu, model)

@@ -1,0 +1,26 @@
+"""Bench: Fig. 9 — ablation of hybrid communication and 2D scheduling."""
+
+from conftest import report
+
+from repro.experiments import fig9
+from repro.models import PAPER_MODELS
+
+
+def test_fig9(benchmark):
+    result = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+    report(result)
+    for world_size, speed in result.data.items():
+        for model in PAPER_MODELS:
+            # Each optimization stage helps (or at worst is neutral).
+            assert (
+                speed["EmbRace-NoSched"][model]
+                >= speed["Horovod-AllGather"][model] * 0.999
+            ), (world_size, model)
+            assert (
+                speed["EmbRace"][model] >= speed["EmbRace-NoSched"][model] * 0.999
+            ), (world_size, model)
+    # Gains are larger at 16 GPUs than at 4 (the paper's §5.5 trend).
+    for model in PAPER_MODELS:
+        g16 = result.data[16]["EmbRace"][model] / result.data[16]["Horovod-AllGather"][model]
+        g4 = result.data[4]["EmbRace"][model] / result.data[4]["Horovod-AllGather"][model]
+        assert g16 >= g4 - 0.02, model

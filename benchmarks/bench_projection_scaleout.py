@@ -1,0 +1,33 @@
+"""Projection bench: beyond the paper's 16 GPUs (§5.6).
+
+See :func:`repro.experiments.extended.run_scaleout`.
+"""
+
+from conftest import report
+
+from repro.experiments.extended import (
+    SCALEOUT_STRATEGIES,
+    SCALEOUT_WORLDS,
+    run_scaleout,
+)
+
+
+def test_scaleout_projection(benchmark):
+    result = benchmark.pedantic(run_scaleout, rounds=1, iterations=1)
+    report(result)
+    for name, cell in result.data.items():
+        speedups = [
+            cell["EmbRace"][w]
+            / max(cell[s][w] for s in SCALEOUT_STRATEGIES if s != "EmbRace")
+            for w in SCALEOUT_WORLDS
+        ]
+        # EmbRace stays fastest with a solid margin at every scale.
+        assert all(s >= 1.1 for s in speedups), name
+    # The sparse-dominated LM's advantage grows with the cluster.
+    lm = result.data["LM"]
+    lm_speedups = [
+        lm["EmbRace"][w]
+        / max(lm[s][w] for s in SCALEOUT_STRATEGIES if s != "EmbRace")
+        for w in SCALEOUT_WORLDS
+    ]
+    assert lm_speedups[-1] > lm_speedups[0]

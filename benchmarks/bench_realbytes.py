@@ -1,0 +1,26 @@
+"""Bench: measured wire bytes of the real strategies.
+
+See :func:`repro.experiments.extended.run_realbytes` — the live,
+measured counterpart of Table 2 / Fig. 1's byte rankings.
+"""
+
+from conftest import report
+
+from repro.experiments.extended import (
+    REALBYTES_WORLDS,
+    run_realbytes,
+)
+
+
+def test_real_wire_bytes(benchmark):
+    result = benchmark.pedantic(run_realbytes, rounds=1, iterations=1)
+    report(result)
+    for world in REALBYTES_WORLDS:
+        # Densified AllReduce moves the most bytes at every world size.
+        dense = result.data["allreduce"][world]
+        assert dense > result.data["allgather"][world]
+        assert dense > result.data["embrace"][world]
+    # AllGather's bytes grow faster with the world size than EmbRace's.
+    ag_growth = result.data["allgather"][4] / result.data["allgather"][2]
+    em_growth = result.data["embrace"][4] / result.data["embrace"][2]
+    assert ag_growth > em_growth

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 1 (model & embedding sizes)."""
+
+from conftest import report
+
+from repro.experiments import table1
+from repro.experiments.paper_values import TABLE1
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(table1.run, rounds=3, iterations=1)
+    report(result)
+    for name, (p_total, p_emb, p_ratio) in TABLE1.items():
+        got = result.data[name]
+        assert abs(got["total_mb"] / p_total - 1) < 0.05
+        assert abs(got["embedding_mb"] / p_emb - 1) < 0.05
+        assert abs(got["ratio"] - p_ratio) < 0.02

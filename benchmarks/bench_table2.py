@@ -1,0 +1,14 @@
+"""Bench: regenerate Table 2 (analytic collective overheads)."""
+
+from conftest import report
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(table2.run, rounds=3, iterations=1)
+    report(result)
+    # Symbolic model: AlltoAll <= AllReduce and <= PS at every sparsity.
+    for model_costs in result.data.values():
+        assert model_costs["AlltoAll"] <= model_costs["AllReduce"] + 1e-12
+        assert model_costs["AlltoAll"] <= model_costs["PS"] + 1e-12

@@ -1,0 +1,19 @@
+"""Bench: regenerate Table 3 (original/coalesced/prioritized grad sizes)."""
+
+from conftest import report
+
+from repro.experiments import table3
+from repro.experiments.paper_values import TABLE3
+
+
+def test_table3(benchmark):
+    result = benchmark.pedantic(table3.run, rounds=1, iterations=1)
+    report(result)
+    for name, (p_orig, p_coal, p_prior) in TABLE3.items():
+        got = result.data[name]
+        # Strict monotone reduction...
+        assert got["original_mb"] > got["coalesced_mb"] > got["prior_mb"] > 0
+        # ...and sizes within 2x of the paper's absolute values.
+        assert 0.5 < got["original_mb"] / p_orig < 2.0, name
+        assert 0.5 < got["coalesced_mb"] / p_coal < 2.0, name
+        assert 0.5 < got["prior_mb"] / p_prior < 2.0, name

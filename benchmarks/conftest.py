@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures
+(via :mod:`repro.experiments`) under ``pytest-benchmark`` timing, then
+prints the regenerated rows and asserts the qualitative shape.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def report(result):
+    """Print an experiment's tables + findings into the pytest output."""
+    print()
+    for t in result.tables:
+        print(t)
+        print()
+    for f in result.findings:
+        print(f"- {f}")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _prime_workload_cache():
+    """Warm the workload-statistics cache once so per-bench timings
+    measure the experiment, not the shared sampling."""
+    from repro.engine.workload import cached_workload
+    from repro.models import PAPER_MODELS
+
+    for name in PAPER_MODELS:
+        for gpu in ("rtx3090", "rtx2080"):
+            for world in (4, 8, 16):
+                cached_workload(name, gpu, world)
+    yield

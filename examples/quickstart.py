@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Quickstart: EmbRace's mechanisms in five minutes.
+
+1.  Build a runnable NLP model with sparse embedding gradients.
+2.  Split a sparse gradient with Algorithm 1 (Vertical Sparse Scheduling).
+3.  Apply the two parts with the modified Adam and confirm the update is
+    bit-identical to a fused one.
+4.  Train the model data-parallel on 2 real workers under both the
+    Horovod-AllGather baseline and EmbRace — same losses, same weights.
+5.  Simulate the same model at paper scale on a 16-GPU RTX3090 cluster
+    and compare per-step timings of all five strategies.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.engine.trainer_real import RealTrainer
+from repro.engine.trainer_sim import simulate_training
+from repro.engine.workload import batch_stream
+from repro.models import GNMT8, build_model
+from repro.nn.parameter import Parameter
+from repro.optim import EmbraceAdam
+from repro.schedule import vertical_split
+from repro.strategies import ALL_STRATEGIES
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    # ------------------------------------------------------------- 1
+    cfg = GNMT8.tiny()
+    model = build_model(cfg, rng=np.random.default_rng(0))
+    batch = next(iter(batch_stream(cfg, "rtx3090")))
+    loss = model.forward_backward(batch)
+    grads = model.sparse_grads()
+    print(f"[1] {cfg.name}: loss={loss:.4f}; sparse gradients: "
+          + ", ".join(f"{k} ({g.nnz_rows} rows)" for k, g in grads.items()))
+
+    # ------------------------------------------------------------- 2
+    grad = grads["encoder_embedding"]
+    current_ids = batch.token_ids["encoder_embedding"]
+    next_ids = next(iter(batch_stream(cfg, "rtx3090", seed=1))).token_ids[
+        "encoder_embedding"
+    ]
+    prior, delayed = vertical_split(grad, current_ids, next_ids)
+    print(f"[2] Algorithm 1 split: {grad.coalesce().nnz_rows} coalesced rows -> "
+          f"{prior.nnz_rows} prior + {delayed.nnz_rows} delayed")
+
+    # ------------------------------------------------------------- 3
+    table = model.encoder_embedding.weight
+    fused = Parameter(table.data.copy(), sparse_grad=True)
+    split = Parameter(table.data.copy(), sparse_grad=True)
+    opt_fused, opt_split = EmbraceAdam([fused], lr=1e-3), EmbraceAdam([split], lr=1e-3)
+    fused.grad = grad
+    opt_fused.step()
+    opt_split.apply_sparse_part(split, prior, final=False)
+    opt_split.apply_sparse_part(split, delayed, final=True)
+    print(f"[3] split EmbraceAdam update bit-identical to fused: "
+          f"{np.array_equal(fused.data, split.data)}")
+
+    # ------------------------------------------------------------- 4
+    runs = {
+        strat: RealTrainer(cfg, strategy=strat, world_size=2, steps=5, seed=7).train()
+        for strat in ("allgather", "embrace")
+    }
+    same = all(
+        np.array_equal(runs["allgather"].state[k], runs["embrace"].state[k])
+        for k in runs["allgather"].state
+    )
+    print(f"[4] 2-worker training: losses equal: "
+          f"{runs['allgather'].losses == runs['embrace'].losses}; "
+          f"final weights bit-identical: {same}")
+
+    # ------------------------------------------------------------- 5
+    table = Table(["strategy", "step (ms)", "stall (ms)", "tokens/s"],
+                  title=f"[5] {GNMT8.name} @ 16x RTX3090 (simulated)")
+    for name in ("BytePS", "Horovod-AllReduce", "Horovod-AllGather", "Parallax", "EmbRace"):
+        r = simulate_training(GNMT8, "rtx3090", 16, ALL_STRATEGIES[name]())
+        table.add_row([name, f"{r.step_time * 1e3:.1f}",
+                       f"{r.computation_stall * 1e3:.1f}", f"{r.tokens_per_sec:,.0f}"])
+    print()
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

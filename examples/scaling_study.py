@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Scaling & ablation study across the full experiment grid (Figs. 7-10).
+
+Sweeps every (model, cluster, world size) cell, printing throughput,
+EmbRace's speedup over the best baseline, the ablation decomposition
+and the scaling curves against ideal linear.
+
+Run:  python examples/scaling_study.py [--gpu rtx3090] [--models LM GNMT-8]
+"""
+
+import argparse
+
+from repro.engine.trainer_sim import simulate_training
+from repro.models import PAPER_MODELS
+from repro.strategies import ALL_STRATEGIES
+from repro.utils.tables import Table
+
+BASELINES = ["BytePS", "Horovod-AllReduce", "Horovod-AllGather", "Parallax"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gpu", default="rtx3090", choices=("rtx3090", "rtx2080"))
+    parser.add_argument(
+        "--models", nargs="+", default=sorted(PAPER_MODELS), choices=sorted(PAPER_MODELS)
+    )
+    args = parser.parse_args()
+
+    for name in args.models:
+        cfg = PAPER_MODELS[name]
+        table = Table(
+            ["strategy", "4 GPUs", "8 GPUs", "16 GPUs", "4->16 scaling"],
+            title=f"{name} on {args.gpu.upper()} (tokens/s)",
+        )
+        tput = {}
+        for strat in BASELINES + ["EmbRace", "EmbRace-NoSched"]:
+            row = [strat]
+            for world in (4, 8, 16):
+                r = simulate_training(cfg, args.gpu, world, ALL_STRATEGIES[strat]())
+                tput.setdefault(strat, {})[world] = r.tokens_per_sec
+                row.append(f"{r.tokens_per_sec:,.0f}")
+            row.append(f"{tput[strat][16] / tput[strat][4]:.2f}x")
+            table.add_row(row)
+        print(table.render())
+
+        best16 = max(tput[s][16] for s in BASELINES)
+        speedup = tput["EmbRace"][16] / best16
+        hybrid = tput["EmbRace-NoSched"][16] / tput["Horovod-AllGather"][16]
+        sched = tput["EmbRace"][16] / tput["EmbRace-NoSched"][16]
+        print(
+            f"  EmbRace @16: {speedup:.2f}x over best baseline "
+            f"(hybrid comm {hybrid:.2f}x over AllGather, 2D scheduling "
+            f"+{(sched - 1) * 100:.1f}% on top); ideal linear would be "
+            f"{4 * tput['EmbRace'][4]:,.0f} tokens/s vs achieved "
+            f"{tput['EmbRace'][16]:,.0f}.\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

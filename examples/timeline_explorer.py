@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Visualize one training step's execution timeline (paper Fig. 6).
+
+Simulates a steady-state step of any (model, cluster, strategy) cell
+and prints the two-lane compute/comm timeline plus its metrics.
+
+Run:  python examples/timeline_explorer.py [--model GNMT-8]
+      [--gpu rtx3090] [--world 16] [--strategy EmbRace] [--compare]
+"""
+
+import argparse
+
+from repro.engine.step_simulator import simulate_step
+from repro.engine.trainer_sim import make_context
+from repro.models import PAPER_MODELS, get_config
+from repro.strategies import ALL_STRATEGIES
+from repro.utils.tables import Table
+
+
+def show(strategy_name: str, ctx) -> None:
+    report = simulate_step(ALL_STRATEGIES[strategy_name](), ctx)
+    print(f"--- {strategy_name}")
+    print(report.trace.render_ascii(width=90))
+    print(
+        f"    step {report.step_time * 1e3:.2f} ms | stall "
+        f"{report.computation_stall * 1e3:.2f} ms | comm "
+        f"{report.comm_time * 1e3:.2f} ms | overlap {report.overlap_ratio:.0%}"
+    )
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="GNMT-8", choices=sorted(PAPER_MODELS))
+    parser.add_argument("--gpu", default="rtx3090", choices=("rtx3090", "rtx2080"))
+    parser.add_argument("--world", type=int, default=16, choices=(4, 8, 16))
+    parser.add_argument("--strategy", default="EmbRace", choices=sorted(ALL_STRATEGIES))
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="show every strategy instead of just --strategy",
+    )
+    args = parser.parse_args()
+
+    ctx = make_context(get_config(args.model), args.gpu, args.world)
+    print(
+        f"{args.model} on {args.world}x {args.gpu.upper()} — lanes: compute "
+        "stream (upper-case = FP/BP/opt) and comm stream (lower-case = "
+        "collectives); width is one steady-state step.\n"
+    )
+    if args.compare:
+        summary = Table(["strategy", "step ms", "stall ms", "overlap"])
+        for name in ALL_STRATEGIES:
+            show(name, ctx)
+            r = simulate_step(ALL_STRATEGIES[name](), ctx)
+            summary.add_row(
+                [name, f"{r.step_time * 1e3:.2f}",
+                 f"{r.computation_stall * 1e3:.2f}", f"{r.overlap_ratio:.0%}"]
+            )
+        print(summary.render())
+    else:
+        show(args.strategy, ctx)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Train a translation model with EmbRace semantics on real OS processes.
+
+Unlike the thread-backed tests, this example launches ``--world`` real
+worker *processes* (``repro.comm.ProcessGroup``) that execute the full
+EmbRace pipeline — AllGather of token ids, column-sharded embedding
+lookups redistributed by AlltoAll, Algorithm 1's prior/delayed split,
+sharded EmbraceAdam updates — and compares wall time and communication
+volume against the Horovod-AllGather baseline on the same data.
+
+Run:  python examples/translation_embrace.py [--world 2] [--steps 10]
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.comm import ProcessGroup
+from repro.engine.trainer_real import RealTrainer
+from repro.eval import bleu, teacher_forced_argmax
+from repro.models import GNMT8
+from repro.utils.tables import Table
+from repro.utils.units import fmt_bytes
+
+
+def run_strategy(config, strategy: str, world: int, steps: int, seed: int):
+    trainer = RealTrainer(
+        config, strategy=strategy, world_size=world, steps=steps,
+        lr=5e-3, seed=seed, record_predictions=True,
+    )
+    # RealTrainer's workers are backend-agnostic closures; drive them
+    # through real processes here.
+    group = ProcessGroup(world)
+    start = time.perf_counter()
+    results = group.run(trainer._worker)
+    elapsed = time.perf_counter() - start
+    return results[0], elapsed
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--world", type=int, default=2)
+    parser.add_argument("--steps", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = GNMT8.scaled(vocab=512, dim_divisor=16)
+    print(
+        f"Training {config.name} (vocab {config.tables[0].vocab_size}, "
+        f"dim {config.tables[0].dim}) on {args.world} worker processes, "
+        f"{args.steps} steps each strategy...\n"
+    )
+
+    runs = {}
+    for strategy in ("allgather", "embrace"):
+        result, elapsed = run_strategy(
+            config, strategy, args.world, args.steps, args.seed
+        )
+        tokens = sum(result.tokens_per_step) * args.world
+        runs[strategy] = result
+        print(
+            f"{strategy:10s}: {elapsed:6.2f}s wall, {tokens / elapsed:9,.0f} "
+            f"tokens/s, {fmt_bytes(result.comm_bytes)} sent by rank 0, "
+            f"final loss {result.losses[-1]:.4f}"
+        )
+
+    table = Table(["step", "loss allgather", "loss embrace"], title="\nLoss curves")
+    for i in range(args.steps):
+        table.add_row(
+            [i, f"{runs['allgather'].losses[i]:.5f}", f"{runs['embrace'].losses[i]:.5f}"]
+        )
+    print(table.render())
+
+    identical = all(
+        np.array_equal(runs["allgather"].state[k], runs["embrace"].state[k])
+        for k in runs["allgather"].state
+    )
+    cross = bleu(
+        list(runs["allgather"].predictions[-1]),
+        list(runs["embrace"].predictions[-1]),
+        pad_id=0,
+    )
+    print(f"\nFinal models bit-identical across strategies: {identical}")
+    print(f"Cross-BLEU of final-step predictions: {cross:.1f} (100 = identical)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro — a full Python reproduction of EmbRace (Li et al., ICPP 2022).
+
+EmbRace accelerates distributed training of sparse NLP models with
+Sparsity-aware Hybrid Communication (column-partitioned embedding
+AlltoAll + dense AllReduce) and 2D Communication Scheduling (priority
+queue + prior/delayed sparse-gradient splitting).
+
+Public entry points:
+
+* ``repro.models`` — the four benchmark models (Table 1 scales + tiny);
+* ``repro.engine.simulate_training`` — paper-scale throughput/stall
+  simulation for any (model, cluster, #GPUs, strategy) cell;
+* ``repro.engine.RealTrainer`` — real multi-worker training with
+  EmbRace or Horovod-AllGather semantics;
+* ``repro.strategies.ALL_STRATEGIES`` — EmbRace, the four baselines and
+  the ablation variants;
+* ``repro.experiments`` — one module per paper table/figure plus
+  ``run_all()``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,153 @@
+"""Command-line interface: ``repro <subcommand>`` or ``python -m repro``.
+
+Subcommands
+-----------
+``experiment``  run one (or all) paper tables/figures and print findings
+``simulate``    one-cell throughput/stall simulation
+``train``       real multi-worker training at tiny scale
+``trace``       export a simulated step timeline as a Chrome trace
+``sizes``       print Table 1 (model/embedding sizes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import (
+        ALL_EXPERIMENTS,
+        EXTENDED_EXPERIMENTS,
+        render_markdown,
+    )
+
+    available = {**ALL_EXPERIMENTS, **EXTENDED_EXPERIMENTS}
+    if args.name == "all":
+        runners = available
+    elif args.name in available:
+        runners = {args.name: available[args.name]}
+    else:
+        print(f"unknown experiment {args.name!r}; choose from "
+              f"{', '.join(available)} or 'all'", file=sys.stderr)
+        return 2
+    results = []
+    for name, runner in runners.items():
+        print(f"running {name}...", file=sys.stderr)
+        results.append(runner())
+    text = render_markdown(results)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.engine.trainer_sim import simulate_training
+    from repro.models import get_config
+    from repro.strategies import ALL_STRATEGIES
+
+    result = simulate_training(
+        get_config(args.model), args.gpu, args.world, ALL_STRATEGIES[args.strategy]()
+    )
+    print(f"model      : {result.model}")
+    print(f"cluster    : {args.world} x {args.gpu}")
+    print(f"strategy   : {result.strategy}")
+    print(f"step time  : {result.step_time * 1e3:.2f} ms")
+    print(f"stall      : {result.computation_stall * 1e3:.2f} ms")
+    print(f"throughput : {result.tokens_per_sec:,.0f} tokens/s")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.engine.trainer_real import RealTrainer
+    from repro.eval import perplexity_curve
+    from repro.models import get_config
+
+    config = get_config(args.model).tiny()
+    result = RealTrainer(
+        config, strategy=args.strategy, world_size=args.world,
+        steps=args.steps, lr=args.lr, seed=args.seed,
+    ).train()
+    ppl = perplexity_curve(result.losses, smooth=3)
+    for i, (loss, p) in enumerate(zip(result.losses, ppl)):
+        print(f"step {i:3d}  loss {loss:.4f}  ppl {p:.2f}")
+    print(f"comm bytes (rank 0): {result.comm_bytes:,}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.engine.step_simulator import simulate_step
+    from repro.engine.trainer_sim import make_context
+    from repro.models import get_config
+    from repro.sim.trace_export import write_chrome_trace
+    from repro.strategies import ALL_STRATEGIES
+
+    ctx = make_context(get_config(args.model), args.gpu, args.world)
+    report = simulate_step(ALL_STRATEGIES[args.strategy](), ctx)
+    write_chrome_trace(report.trace, args.output,
+                       process_name=f"{args.model}-{args.strategy}")
+    print(f"wrote {args.output} ({len(report.trace.entries)} events, "
+          f"makespan {report.step_time * 1e3:.2f} ms); open in chrome://tracing")
+    return 0
+
+
+def _cmd_sizes(args: argparse.Namespace) -> int:
+    from repro.models.sizing import sizing_table
+
+    print(sizing_table().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from repro.strategies import ALL_STRATEGIES
+
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("experiment", help="run paper experiments")
+    p.add_argument("name", help="experiment id (table1..fig11) or 'all'")
+    p.add_argument("-o", "--output", help="write markdown to this file")
+    p.set_defaults(func=_cmd_experiment)
+
+    models = ["LM", "GNMT-8", "Transformer", "BERT-base"]
+    p = sub.add_parser("simulate", help="simulate one throughput cell")
+    p.add_argument("--model", default="GNMT-8", choices=models)
+    p.add_argument("--gpu", default="rtx3090", choices=("rtx3090", "rtx2080"))
+    p.add_argument("--world", type=int, default=16, choices=(4, 8, 16))
+    p.add_argument("--strategy", default="EmbRace", choices=sorted(ALL_STRATEGIES))
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("train", help="real multi-worker training (tiny scale)")
+    p.add_argument("--model", default="GNMT-8", choices=models)
+    p.add_argument("--strategy", default="embrace", choices=("embrace", "allgather"))
+    p.add_argument("--world", type=int, default=2)
+    p.add_argument("--steps", type=int, default=10)
+    p.add_argument("--lr", type=float, default=5e-3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("trace", help="export a step timeline (Chrome trace)")
+    p.add_argument("--model", default="GNMT-8", choices=models)
+    p.add_argument("--gpu", default="rtx3090", choices=("rtx3090", "rtx2080"))
+    p.add_argument("--world", type=int, default=16, choices=(4, 8, 16))
+    p.add_argument("--strategy", default="EmbRace", choices=sorted(ALL_STRATEGIES))
+    p.add_argument("-o", "--output", default="step_trace.json")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("sizes", help="print Table 1")
+    p.set_defaults(func=_cmd_sizes)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

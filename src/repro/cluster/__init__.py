@@ -1,0 +1,19 @@
+"""Hardware and cluster topology models.
+
+These replace the paper's physical testbeds: two 16-GPU clusters
+(4 nodes x 4 GPUs) of RTX3090s and RTX2080s, 100 Gbps InfiniBand between
+nodes, PCIe within a node (§5.2.1).
+"""
+
+from repro.cluster.hardware import CPU_HOST, GPUSpec, RTX2080, RTX3090
+from repro.cluster.topology import ClusterSpec, rtx2080_cluster, rtx3090_cluster
+
+__all__ = [
+    "GPUSpec",
+    "RTX3090",
+    "RTX2080",
+    "CPU_HOST",
+    "ClusterSpec",
+    "rtx3090_cluster",
+    "rtx2080_cluster",
+]

@@ -1,0 +1,74 @@
+"""GPU performance profiles.
+
+``flops`` is *effective sustained* training throughput (not peak): deep
+learning training on consumer GPUs typically sustains 30-45% of peak
+FP32 because of memory-bound layers, kernel launch gaps and small GEMMs.
+The two profiles below are calibrated so the RTX3090:RTX2080 compute
+ratio (~3.4x) and memory-bandwidth ratio (~2.1x) match the public specs,
+which is what determines the relative shape of the paper's Fig. 7
+(communication bottlenecks bite harder on the slower card only because
+batch sizes shrink, §5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Effective compute/memory profile of one accelerator."""
+
+    name: str
+    flops: float  # sustained FLOP/s for training kernels
+    mem_bandwidth: float  # sustained bytes/s for gather/scatter kernels
+    kernel_overhead: float  # seconds of fixed launch cost per fused block
+    memory_bytes: float  # device memory capacity
+
+    def __post_init__(self) -> None:
+        check_positive("flops", self.flops)
+        check_positive("mem_bandwidth", self.mem_bandwidth)
+        check_positive("memory_bytes", self.memory_bytes)
+
+    def compute_time(self, flops: float) -> float:
+        """Seconds to execute ``flops`` of dense arithmetic."""
+        return flops / self.flops + self.kernel_overhead
+
+    def memory_time(self, nbytes: float) -> float:
+        """Seconds for a memory-bound kernel moving ``nbytes``."""
+        return nbytes / self.mem_bandwidth + self.kernel_overhead
+
+
+#: GeForce RTX 3090: 35.6 TFLOPS peak FP32, 936 GB/s GDDR6X, 24 GB.
+RTX3090 = GPUSpec(
+    name="RTX3090",
+    flops=13.0e12,
+    mem_bandwidth=700e9,
+    kernel_overhead=12e-6,
+    memory_bytes=24e9,
+)
+
+#: GeForce RTX 2080: 10.1 TFLOPS peak FP32, 448 GB/s GDDR6, 8 GB.
+RTX2080 = GPUSpec(
+    name="RTX2080",
+    flops=3.8e12,
+    mem_bandwidth=330e9,
+    kernel_overhead=12e-6,
+    memory_bytes=8e9,
+)
+
+#: Host CPU+DRAM profile: where the LM embedding lives on the RTX2080
+#: cluster ("limited by the huge embedding tables and GPU memory ... we
+#: have to put embedding tables on the CPU", §5.3).  ``mem_bandwidth`` is
+#: the *effective* throughput of framework CPU sparse ops (gather /
+#: scatter-add / sparse Adam): far below DRAM peak because they are
+#: mostly single-threaded with per-row indexing and allocator overhead.
+CPU_HOST = GPUSpec(
+    name="CPU",
+    flops=0.4e12,
+    mem_bandwidth=4e9,
+    kernel_overhead=30e-6,
+    memory_bytes=96e9,
+)

@@ -1,0 +1,24 @@
+"""Analytic collective-communication cost models (paper §4.1.2, Table 2).
+
+:class:`CostModel` evaluates the four aggregation strategies' overheads
+on a :class:`~repro.cluster.ClusterSpec`, extending the paper's uniform
+``(B, beta)`` alpha-beta model with the two practical effects §4.1.2
+calls out: message-size-dependent bandwidth utilization ("insufficient
+bandwidth usage with excessive divided messages") and NIC contention
+when several GPUs per node run pairwise exchanges ("different
+communication algorithms, network topologies and message sizes would
+influence the bandwidth utilization greatly").
+"""
+
+from repro.collectives.cost import CollectiveCost, CostModel, effective_bandwidth
+from repro.collectives.omnireduce import OmniReduceModel
+from repro.collectives.analysis import crossover_sparsity, sparsity_sweep
+
+__all__ = [
+    "CostModel",
+    "CollectiveCost",
+    "effective_bandwidth",
+    "OmniReduceModel",
+    "crossover_sparsity",
+    "sparsity_sweep",
+]

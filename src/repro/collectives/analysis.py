@@ -1,0 +1,98 @@
+"""Sparsity sweeps and crossover analysis — the substance of Fig. 4.
+
+A *sweep* evaluates each aggregation scheme's per-step communication
+overhead for an embedding of size ``M`` across gradient sparsities.
+EmbRace's scheme pays the AlltoAll cost twice per step (lookup results
+forward + gradients backward, §4.1.1), AllGather/PS pay their cost once
+on gradients plus nothing extra forward (replicated tables), and dense
+AllReduce pays once on the full table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.topology import ClusterSpec
+from repro.collectives.cost import CostModel
+from repro.collectives.omnireduce import OmniReduceModel
+from repro.utils.validation import check_positive
+
+
+def scheme_overhead(
+    model: CostModel,
+    scheme: str,
+    table_bytes: float,
+    density: float,
+    row_bytes: float = 4096.0,
+    omnireduce: OmniReduceModel | None = None,
+) -> float:
+    """Per-training-step sparse-communication overhead of one scheme."""
+    payload = density * table_bytes
+    if scheme == "alltoall":
+        # Forward lookup-result exchange + backward gradient exchange.
+        return 2 * model.alltoall(payload).seconds
+    if scheme == "allreduce":
+        return model.allreduce(table_bytes).seconds
+    if scheme == "allgather":
+        return model.allgather(payload).seconds
+    if scheme == "ps":
+        return model.parameter_server(payload).seconds
+    if scheme == "omnireduce":
+        if omnireduce is None:
+            raise ValueError("omnireduce scheme requires an OmniReduceModel")
+        return omnireduce.allreduce(table_bytes, density, row_bytes).seconds
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def sparsity_sweep(
+    cluster: ClusterSpec,
+    table_bytes: float,
+    sparsities: np.ndarray | None = None,
+    schemes: tuple[str, ...] = ("alltoall", "allreduce", "allgather"),
+    row_bytes: float = 4096.0,
+) -> dict[str, np.ndarray]:
+    """Overhead (seconds) per scheme across a sparsity grid.
+
+    Returns ``{"sparsity": grid, scheme: seconds[...]}``.
+    """
+    check_positive("table_bytes", table_bytes)
+    if sparsities is None:
+        sparsities = np.linspace(0.0, 0.99, 34)
+    model = CostModel(cluster)
+    omni = (
+        OmniReduceModel(cluster)
+        if "omnireduce" in schemes and cluster.gpus_per_node == 1
+        else None
+    )
+    out: dict[str, np.ndarray] = {"sparsity": np.asarray(sparsities, dtype=float)}
+    for scheme in schemes:
+        out[scheme] = np.array(
+            [
+                scheme_overhead(
+                    model, scheme, table_bytes, 1.0 - s, row_bytes, omnireduce=omni
+                )
+                for s in out["sparsity"]
+            ]
+        )
+    return out
+
+
+def crossover_sparsity(
+    cluster: ClusterSpec,
+    table_bytes: float,
+    scheme_a: str = "alltoall",
+    scheme_b: str = "allreduce",
+    row_bytes: float = 4096.0,
+) -> float | None:
+    """Lowest sparsity at which ``scheme_a`` beats ``scheme_b`` (None if never)."""
+    sweep = sparsity_sweep(
+        cluster,
+        table_bytes,
+        sparsities=np.linspace(0.0, 0.995, 200),
+        schemes=(scheme_a, scheme_b),
+        row_bytes=row_bytes,
+    )
+    wins = sweep[scheme_a] < sweep[scheme_b]
+    if not wins.any():
+        return None
+    return float(sweep["sparsity"][int(np.argmax(wins))])

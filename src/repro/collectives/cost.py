@@ -1,0 +1,219 @@
+"""Table 2 cost formulas over a concrete topology.
+
+=============  =====================================
+approach       overhead (paper Table 2)
+=============  =====================================
+AlltoAll       ``2(N-1)(alpha*M/(N*B) + beta)``
+AllReduce      ``2(N-1)(M/(N*B) + beta)``
+PS             ``2N(alpha*M/(S*B) + beta)``, S <= n
+AllGather      ``(N-1)(alpha*M/B + beta)``
+=============  =====================================
+
+Each method here computes *one* collective operation; callers compose
+them per step (EmbRace's hybrid scheme runs AlltoAll twice — lookup
+results forward, gradients backward — exactly as the Table 2 row does).
+
+Practical extensions beyond the symbolic model (both calibrated against
+the qualitative behaviour of Fig. 4 and §4.1.2):
+
+* ``effective_bandwidth`` — a link sustains ``B * s/(s + s_half)`` for
+  messages of size ``s`` (half-utilization message size ``s_half``);
+  this is what penalizes ByteScheduler-style fine partitioning and
+  OmniReduce's per-block sends.
+* ring vs pairwise bandwidth — ring collectives cross each node's NIC
+  once per direction (``B_ring = min(intra, inter)``) while pairwise
+  exchanges share the NIC among all of a node's GPUs
+  (``B_pairwise = min(intra, inter/w)``).  The asymmetry is why Fig. 4a
+  shows a ~40% AlltoAll-vs-AllReduce crossover on the 2x4 topology while
+  Fig. 4b (one GPU per node, no sharing) has AlltoAll winning everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.topology import ClusterSpec
+from repro.utils.validation import check_non_negative, check_positive
+
+#: Message size at which a link reaches half its peak utilization.
+HALF_UTILIZATION_BYTES = 128 * 1024
+
+#: Host-side staging bandwidth for PS architectures (GPU<->CPU copies;
+#: §5.3: Parallax suffers "frequent memory copy between GPU and CPU").
+PS_HOST_BANDWIDTH = 8e9
+
+
+def effective_bandwidth(
+    link_bw: float, msg_bytes: float, half_bytes: float = HALF_UTILIZATION_BYTES
+) -> float:
+    """Sustained bandwidth for messages of ``msg_bytes`` on a ``link_bw`` link."""
+    check_positive("link_bw", link_bw)
+    check_non_negative("msg_bytes", msg_bytes)
+    if msg_bytes == 0:
+        return link_bw
+    return link_bw * msg_bytes / (msg_bytes + half_bytes)
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """Decomposed cost of one collective operation."""
+
+    seconds: float
+    wire_bytes: float  # total bytes this worker puts on the wire
+    num_messages: int
+
+    def __add__(self, other: "CollectiveCost") -> "CollectiveCost":
+        return CollectiveCost(
+            self.seconds + other.seconds,
+            self.wire_bytes + other.wire_bytes,
+            self.num_messages + other.num_messages,
+        )
+
+
+class CostModel:
+    """Collective cost evaluation on one cluster.
+
+    Two effective link rates (see :class:`~repro.cluster.ClusterSpec`):
+    ``B_ring`` for ring-structured collectives (one NIC crossing per node
+    and direction) and ``B_pairwise`` for pairwise exchanges (NIC shared
+    by all of a node's GPUs).  ``self.B`` keeps the pairwise value for
+    the Table 2 symbolic formulas (the paper's uniform-B reading).
+    """
+
+    def __init__(self, cluster: ClusterSpec):
+        self.cluster = cluster
+        self.N = cluster.world_size
+        self.B_ring = cluster.ring_bandwidth()
+        self.B_pairwise = cluster.pairwise_bandwidth()
+        self.B = self.B_pairwise
+        self.beta = cluster.latency()
+
+    # ------------------------------------------------------------------ #
+    def _transfer(self, msg_bytes: float, bandwidth: float | None = None) -> float:
+        """Seconds to move one message of ``msg_bytes`` plus start latency."""
+        link = bandwidth if bandwidth is not None else self.B_pairwise
+        if msg_bytes <= 0:
+            return self.beta
+        bw = effective_bandwidth(link, msg_bytes)
+        return msg_bytes / bw + self.beta
+
+    # ------------------------------------------------------------------ #
+    # Table 2 rows (one collective each)
+    # ------------------------------------------------------------------ #
+    def allreduce(self, nbytes: float) -> CollectiveCost:
+        """Ring AllReduce of a dense ``nbytes`` tensor.
+
+        Reduce-scatter + all-gather: ``2(N-1)`` chunk transfers of
+        ``nbytes/N`` each.
+        """
+        check_non_negative("nbytes", nbytes)
+        if self.N == 1:
+            return CollectiveCost(0.0, 0.0, 0)
+        chunk = nbytes / self.N
+        steps = 2 * (self.N - 1)
+        return CollectiveCost(
+            steps * self._transfer(chunk, self.B_ring), steps * chunk, steps
+        )
+
+    def alltoall(self, payload_bytes: float) -> CollectiveCost:
+        """One AlltoAll where each worker exchanges ``payload/N`` with every peer."""
+        check_non_negative("payload_bytes", payload_bytes)
+        if self.N == 1:
+            return CollectiveCost(0.0, 0.0, 0)
+        msg = payload_bytes / self.N
+        steps = self.N - 1
+        return CollectiveCost(
+            steps * self._transfer(msg, self.B_pairwise), steps * msg, steps
+        )
+
+    def allgather(self, payload_bytes: float) -> CollectiveCost:
+        """AllGather of each worker's ``payload_bytes`` sparse tensor.
+
+        Each worker receives (N-1) full payloads — the linear-in-N wire
+        cost that ruins AllGather's scalability (Table 2 last row).
+        """
+        check_non_negative("payload_bytes", payload_bytes)
+        if self.N == 1:
+            return CollectiveCost(0.0, 0.0, 0)
+        steps = self.N - 1
+        return CollectiveCost(
+            steps * self._transfer(payload_bytes, self.B_ring),
+            steps * payload_bytes,
+            steps,
+        )
+
+    def parameter_server(
+        self,
+        payload_bytes: float,
+        num_servers: int | None = None,
+        server_update_passes: float = 0.0,
+        server_bandwidth: float = 4e9,
+    ) -> CollectiveCost:
+        """PS push+pull of ``payload_bytes``, sharded over ``S`` servers.
+
+        Table 2: ``2N(alpha*M/(S*B) + beta)`` from the servers'
+        perspective; each GPU worker additionally stages its shard
+        through host memory.  With ``server_update_passes`` > 0 the
+        servers also run the optimizer update over every worker's pushed
+        gradient before pulls can return — serialized CPU work of
+        ``passes * N * payload / S`` bytes at the host's effective
+        sparse-op bandwidth (the Parallax bottleneck of §5.3).
+        """
+        check_non_negative("payload_bytes", payload_bytes)
+        S = num_servers if num_servers is not None else self.cluster.num_nodes
+        check_positive("num_servers", S)
+        if S > self.cluster.num_nodes:
+            raise ValueError(
+                f"{S} servers exceed {self.cluster.num_nodes} nodes (paper: S <= n)"
+            )
+        msg = payload_bytes / S
+        # Push and pull, each a message per worker hitting every server,
+        # serialized at the server side: 2N transfers of alpha*M/S.
+        steps = 2 * self.N
+        network = steps * self._transfer(msg)
+        host_copy = 2 * payload_bytes / PS_HOST_BANDWIDTH
+        server_update = (
+            server_update_passes * self.N * payload_bytes / (S * server_bandwidth)
+        )
+        return CollectiveCost(network + host_copy + server_update, steps * msg, steps)
+
+    def broadcast(self, nbytes: float) -> CollectiveCost:
+        """Binomial-tree broadcast (used by init-time weight sync)."""
+        check_non_negative("nbytes", nbytes)
+        if self.N == 1:
+            return CollectiveCost(0.0, 0.0, 0)
+        import math
+
+        steps = int(math.ceil(math.log2(self.N)))
+        return CollectiveCost(
+            steps * self._transfer(nbytes, self.B_ring), steps * nbytes, steps
+        )
+
+    def reduce_scatter(self, nbytes: float) -> CollectiveCost:
+        """Ring reduce-scatter — half of :meth:`allreduce`."""
+        check_non_negative("nbytes", nbytes)
+        if self.N == 1:
+            return CollectiveCost(0.0, 0.0, 0)
+        chunk = nbytes / self.N
+        steps = self.N - 1
+        return CollectiveCost(
+            steps * self._transfer(chunk, self.B_ring), steps * chunk, steps
+        )
+
+    # ------------------------------------------------------------------ #
+    # Symbolic Table 2 (pure alpha-beta, for the bench that reprints it)
+    # ------------------------------------------------------------------ #
+    def table2_symbolic(
+        self, M: float, alpha: float, num_servers: int | None = None
+    ) -> dict[str, float]:
+        """The four Table 2 expressions evaluated verbatim (no utilization
+        or contention corrections) — used by ``bench_table2``."""
+        check_non_negative("M", M)
+        N, B, beta = self.N, self.B, self.beta
+        S = num_servers if num_servers is not None else self.cluster.num_nodes
+        return {
+            "AlltoAll": 2 * (N - 1) * (alpha * M / (N * B) + beta),
+            "AllReduce": 2 * (N - 1) * (M / (N * B) + beta),
+            "PS": 2 * N * (alpha * M / (S * B) + beta),
+            "AllGather": (N - 1) * (alpha * M / B + beta),
+        }

@@ -1,0 +1,43 @@
+"""Real multi-worker communication backend (CPU, numpy).
+
+This package actually *executes* the collective algorithms the paper's
+prototype delegates to NCCL — ring AllReduce, AllGather, AlltoAll(v),
+broadcast — over real concurrent workers, so EmbRace's communication
+semantics (column-partitioned AlltoAll exchanges, prior/delayed
+application, modified Adam) run end-to-end and can be checked for
+bit-exactness against single-process training.
+
+Two interchangeable backends expose the same :class:`Communicator` API:
+
+* :class:`ThreadGroup` — N worker threads with queue links (fast; used
+  by tests and the convergence experiments);
+* :class:`ProcessGroup` — N spawned processes with OS pipes (true
+  parallelism; used by the examples).
+
+Collective algorithms are implemented once, against the primitive
+``send``/``recv``/``barrier`` surface, in :mod:`primitives`.
+"""
+
+from repro.comm.backend import Communicator
+from repro.comm.local import ThreadGroup, run_threaded
+from repro.comm.process import ProcessGroup, run_multiprocess
+from repro.comm.sparse import (
+    allgather_sparse,
+    allreduce_sparse_via_allgather,
+    alltoall_column_shards,
+    alltoall_lookup_results,
+    column_slices,
+)
+
+__all__ = [
+    "Communicator",
+    "ThreadGroup",
+    "run_threaded",
+    "ProcessGroup",
+    "run_multiprocess",
+    "allgather_sparse",
+    "allreduce_sparse_via_allgather",
+    "alltoall_column_shards",
+    "alltoall_lookup_results",
+    "column_slices",
+]

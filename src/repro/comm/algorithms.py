@@ -1,0 +1,205 @@
+"""Additional collective algorithms over the Communicator primitives.
+
+Beyond the core ring collectives on :class:`~repro.comm.Communicator`,
+this module implements the algorithm families the paper's related work
+discusses, usable with any backend:
+
+* :func:`reduce_scatter` — the first half of ring AllReduce;
+* :func:`tree_allreduce` — recursive halving/doubling (latency-optimal
+  for small tensors, the regime where ring's 2(N-1) steps lose);
+* :func:`hierarchical_allreduce` — BlueConnect-style two-level
+  reduction (intra-node ring + inter-node exchange + intra broadcast),
+  matching how NCCL exploits node locality (§6 "topology-aware
+  hierarchical collective communication");
+* :func:`alltoallv` — personalized exchange with per-peer row counts
+  (what EmbRace's sparse exchanges actually need);
+* :func:`gather` / :func:`scatter` — rooted collectives used by the
+  parameter-server paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.backend import Communicator
+
+
+def reduce_scatter(comm: Communicator, array: np.ndarray) -> np.ndarray:
+    """Ring reduce-scatter: returns this rank's fully-reduced chunk.
+
+    Chunks follow ``np.array_split`` over the flattened array; rank i
+    owns chunk i.
+    """
+    array = np.asarray(array, dtype=np.float64)
+    size = comm.world_size
+    flat = array.reshape(-1).copy()
+    chunks = np.array_split(np.arange(flat.size), size)
+    if size == 1:
+        return flat[chunks[0]]
+    right = (comm.rank + 1) % size
+    left = (comm.rank - 1) % size
+    # Indices shifted by -1 versus the textbook ring so that after the
+    # final step rank r's last accumulation lands on chunk r exactly.
+    for step in range(size - 1):
+        send_idx = (comm.rank - step - 1) % size
+        recv_idx = (comm.rank - step - 2) % size
+        incoming = comm.sendrecv(right, flat[chunks[send_idx]], left)
+        flat[chunks[recv_idx]] += incoming
+    return flat[chunks[comm.rank]]
+
+
+def tree_allreduce(comm: Communicator, array: np.ndarray) -> np.ndarray:
+    """Recursive-doubling AllReduce (sum) in ``ceil(log2 N)`` rounds.
+
+    Works for any world size via a fold-in step for the non-power-of-two
+    remainder ranks.
+    """
+    array = np.asarray(array, dtype=np.float64).copy()
+    size = comm.world_size
+    if size == 1:
+        return array
+    # Largest power of two <= size.
+    pof2 = 1
+    while pof2 * 2 <= size:
+        pof2 *= 2
+    rem = size - pof2
+    rank = comm.rank
+
+    # Fold the remainder: ranks >= pof2 send to rank - rem... standard
+    # MPI approach: the first 2*rem ranks pair up.
+    if rank < 2 * rem:
+        if rank % 2 == 1:  # odd ranks send and retire
+            comm.send(rank - 1, array)
+            new_rank = -1
+        else:
+            array = array + comm.recv(rank + 1)
+            new_rank = rank // 2
+    else:
+        new_rank = rank - rem
+
+    if new_rank != -1:
+        mask = 1
+        while mask < pof2:
+            peer_new = new_rank ^ mask
+            peer = peer_new * 2 if peer_new < rem else peer_new + rem
+            incoming = comm.sendrecv(peer, array, peer)
+            array = array + incoming
+            mask <<= 1
+
+    # Unfold: even ranks of the folded pairs send results back.
+    if rank < 2 * rem:
+        if rank % 2 == 1:
+            array = comm.recv(rank - 1)
+        else:
+            comm.send(rank + 1, array)
+    return array
+
+
+def hierarchical_allreduce(
+    comm: Communicator, array: np.ndarray, gpus_per_node: int
+) -> np.ndarray:
+    """Two-level AllReduce exploiting node locality.
+
+    1. intra-node ring reduce-scatter among the node's ranks,
+    2. inter-node AllReduce of each chunk among same-local-rank peers,
+    3. intra-node allgather of the reduced chunks.
+
+    With ``gpus_per_node=1`` or a single node this degenerates to the
+    plain ring.  Ranks are laid out node-major (ranks 0..w-1 on node 0).
+    """
+    array = np.asarray(array, dtype=np.float64)
+    size = comm.world_size
+    if size % gpus_per_node != 0:
+        raise ValueError(
+            f"world size {size} not divisible by gpus_per_node {gpus_per_node}"
+        )
+    num_nodes = size // gpus_per_node
+    if num_nodes == 1 or gpus_per_node == 1:
+        return comm.allreduce(array)
+
+    node = comm.rank // gpus_per_node
+    local = comm.rank % gpus_per_node
+    flat = array.reshape(-1).copy()
+    chunks = np.array_split(np.arange(flat.size), gpus_per_node)
+
+    # 1: intra-node reduce-scatter (ring among the node's ranks).
+    base = node * gpus_per_node
+    right = base + (local + 1) % gpus_per_node
+    left = base + (local - 1) % gpus_per_node
+    for step in range(gpus_per_node - 1):
+        send_idx = (local - step) % gpus_per_node
+        recv_idx = (local - step - 1) % gpus_per_node
+        incoming = comm.sendrecv(right, flat[chunks[send_idx]], left)
+        flat[chunks[recv_idx]] += incoming
+    # After g-1 ring steps, local rank l owns fully-reduced chunk (l+1)%g.
+    owned = (local + 1) % gpus_per_node
+    my_chunk = flat[chunks[owned]].copy()
+
+    # 2: inter-node ring allreduce of my chunk among same-local ranks.
+    peers = [n * gpus_per_node + local for n in range(num_nodes)]
+    my_pos = peers.index(comm.rank)
+    sub = np.array_split(np.arange(my_chunk.size), num_nodes)
+    right_p = peers[(my_pos + 1) % num_nodes]
+    left_p = peers[(my_pos - 1) % num_nodes]
+    for step in range(num_nodes - 1):
+        send_idx = (my_pos - step) % num_nodes
+        recv_idx = (my_pos - step - 1) % num_nodes
+        incoming = comm.sendrecv(right_p, my_chunk[sub[send_idx]], left_p)
+        my_chunk[sub[recv_idx]] += incoming
+    for step in range(num_nodes - 1):
+        send_idx = (my_pos + 1 - step) % num_nodes
+        recv_idx = (my_pos - step) % num_nodes
+        incoming = comm.sendrecv(right_p, my_chunk[sub[send_idx]], left_p)
+        my_chunk[sub[recv_idx]] = incoming
+    flat[chunks[owned]] = my_chunk
+
+    # 3: intra-node allgather of the reduced chunks.
+    current = my_chunk
+    current_idx = owned
+    for step in range(gpus_per_node - 1):
+        incoming = comm.sendrecv(right, current, left)
+        current_idx = (current_idx - 1) % gpus_per_node
+        flat[chunks[current_idx]] = incoming
+        current = incoming
+    return flat.reshape(array.shape)
+
+
+def alltoallv(
+    comm: Communicator, send_blocks: list[np.ndarray]
+) -> list[np.ndarray]:
+    """Personalized exchange of variable-sized arrays.
+
+    ``send_blocks[j]`` goes to rank ``j``; returns received blocks in
+    source-rank order.  This is what EmbRace's sparse exchanges use —
+    each peer gets a different number of gradient rows.
+    """
+    if len(send_blocks) != comm.world_size:
+        raise ValueError(
+            f"need {comm.world_size} blocks, got {len(send_blocks)}"
+        )
+    return comm.alltoall([np.asarray(b) for b in send_blocks])
+
+
+def gather(comm: Communicator, obj, root: int = 0) -> list | None:
+    """Rooted gather: root returns the rank-ordered list, others None."""
+    if comm.rank == root:
+        out = [None] * comm.world_size
+        out[root] = obj
+        for src in range(comm.world_size):
+            if src != root:
+                out[src] = comm.recv(src)
+        return out
+    comm.send(root, obj)
+    return None
+
+
+def scatter(comm: Communicator, objs: list | None, root: int = 0):
+    """Rooted scatter: root provides one object per rank."""
+    if comm.rank == root:
+        if objs is None or len(objs) != comm.world_size:
+            raise ValueError(f"root needs {comm.world_size} objects")
+        for dst in range(comm.world_size):
+            if dst != root:
+                comm.send(dst, objs[dst])
+        return objs[root]
+    return comm.recv(root)

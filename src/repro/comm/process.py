@@ -1,0 +1,90 @@
+"""Process-based backend: N OS processes with queue links.
+
+``multiprocessing.Queue`` feeds data through a background writer thread,
+so sends never block the caller and exchange cycles cannot deadlock.
+Use this backend for true parallel execution (the examples); the thread
+backend is faster to spin up for tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Any, Callable
+
+from repro.comm.backend import Communicator
+from repro.utils.validation import check_positive
+
+
+class ProcessCommunicator(Communicator):
+    def __init__(self, rank, world_size, inboxes, barrier):
+        super().__init__(rank, world_size)
+        self._inboxes = inboxes  # inboxes[dst][src]
+        self._barrier = barrier
+
+    def _send(self, dst: int, obj: Any) -> None:
+        self._inboxes[dst][self.rank].put(obj)
+
+    def _recv(self, src: int) -> Any:
+        return self._inboxes[self.rank][src].get(timeout=120.0)
+
+    def barrier(self) -> None:
+        self._barrier.wait(timeout=120.0)
+
+
+def _worker(rank, world_size, inboxes, barrier, fn, args, kwargs, result_queue):
+    comm = ProcessCommunicator(rank, world_size, inboxes, barrier)
+    try:
+        result = fn(comm, *args, **kwargs)
+        result_queue.put((rank, "ok", result))
+    except BaseException as exc:  # noqa: BLE001 - reported to parent
+        result_queue.put((rank, "error", repr(exc)))
+
+
+class ProcessGroup:
+    """Launches workers as real processes (fork start method)."""
+
+    def __init__(self, world_size: int):
+        check_positive("world_size", world_size)
+        self.world_size = world_size
+        self._ctx = mp.get_context("fork")
+
+    def run(self, fn: Callable[[Communicator], Any], *args, **kwargs) -> list[Any]:
+        ctx = self._ctx
+        inboxes = [
+            [ctx.Queue() for _ in range(self.world_size)]
+            for _ in range(self.world_size)
+        ]
+        barrier = ctx.Barrier(self.world_size)
+        result_queue = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_worker,
+                args=(r, self.world_size, inboxes, barrier, fn, args, kwargs, result_queue),
+            )
+            for r in range(self.world_size)
+        ]
+        for p in procs:
+            p.start()
+        results: list[Any] = [None] * self.world_size
+        failures = []
+        for _ in range(self.world_size):
+            rank, status, payload = result_queue.get(timeout=300.0)
+            if status == "ok":
+                results[rank] = payload
+            else:
+                failures.append((rank, payload))
+        for p in procs:
+            p.join(timeout=30.0)
+            if p.is_alive():  # pragma: no cover - defensive cleanup
+                p.terminate()
+        if failures:
+            rank, err = failures[0]
+            raise RuntimeError(f"rank {rank} failed: {err}")
+        return results
+
+
+def run_multiprocess(
+    world_size: int, fn: Callable[[Communicator], Any], *args, **kwargs
+) -> list[Any]:
+    """Run ``fn(comm, *args)`` on ``world_size`` processes; results in rank order."""
+    return ProcessGroup(world_size).run(fn, *args, **kwargs)

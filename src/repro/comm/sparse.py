@@ -1,0 +1,112 @@
+"""Sparse-tensor collectives: the real data movement of each strategy.
+
+* :func:`allgather_sparse` — the Horovod-AllGather baseline's sparse
+  path: every rank receives every peer's raw COO gradient;
+* :func:`allreduce_sparse_via_allgather` — gather + deterministic
+  rank-ordered sum (what the baseline's optimizer consumes);
+* :func:`alltoall_column_shards` — EmbRace's hybrid path: each rank
+  sends each peer the *column slice* that peer owns, and receives the
+  slices of its own columns from everyone (one AlltoAll of §4.1.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.backend import Communicator
+from repro.tensors import SparseRows
+
+
+def column_slices(dim: int, world_size: int) -> list[slice]:
+    """Column ranges per rank (matches ``TensorSpec.column_shard``)."""
+    base, extra = divmod(dim, world_size)
+    slices, start = [], 0
+    for r in range(world_size):
+        width = base + (1 if r < extra else 0)
+        slices.append(slice(start, start + width))
+        start += width
+    return slices
+
+
+def allgather_sparse(comm: Communicator, grad: SparseRows) -> list[SparseRows]:
+    """Gather every rank's sparse gradient (Horovod-AllGather semantics)."""
+    payload = (grad.indices, grad.values, grad.num_rows)
+    gathered = comm.allgather(payload)
+    return [
+        SparseRows(idx, vals, rows, coalesced=False) for idx, vals, rows in gathered
+    ]
+
+
+def allreduce_sparse_via_allgather(comm: Communicator, grad: SparseRows) -> SparseRows:
+    """Sum of all ranks' sparse gradients, coalesced, rank-ordered.
+
+    Each rank's gradient is coalesced locally before the exchange (as
+    PyTorch does when serializing sparse tensors), and parts are summed
+    in rank order — so any strategy summing the same per-rank gradients
+    with the same local-coalesce-then-rank-order grouping produces
+    bit-identical results.
+    """
+    parts = allgather_sparse(comm, grad.coalesce())
+    return SparseRows.concat(parts).coalesce()
+
+
+def alltoall_column_shards(
+    comm: Communicator, grad: SparseRows
+) -> SparseRows:
+    """EmbRace gradient exchange: return this rank's column shard of the
+    globally-summed sparse gradient.
+
+    Each rank slices its local gradient by owner columns and AlltoAlls
+    the slices; the received slices (all covering this rank's columns)
+    are concatenated in rank order and coalesced.  The result's ``dim``
+    is this rank's shard width.
+
+    The local gradient is coalesced before slicing so that every
+    strategy sums per-row contributions with identical grouping
+    (local pre-sum, then rank order).
+    """
+    grad = grad.coalesce()
+    slices = column_slices(grad.dim, comm.world_size)
+    outgoing = [
+        (grad.indices, np.ascontiguousarray(grad.values[:, s]), grad.num_rows)
+        for s in slices
+    ]
+    received = comm.alltoall(outgoing)
+    parts = [
+        SparseRows(idx, vals, rows, coalesced=False) for idx, vals, rows in received
+    ]
+    return SparseRows.concat(parts).coalesce()
+
+
+def alltoall_lookup_results(
+    comm: Communicator,
+    all_ids: list[np.ndarray],
+    shard_lookup: np.ndarray,
+    own_count: int,
+) -> np.ndarray:
+    """EmbRace forward exchange: redistribute column-sharded lookup results.
+
+    ``all_ids[j]`` are the token ids rank ``j`` needs (this rank already
+    looked *all* of them up against its column shard, producing
+    ``shard_lookup`` — the concatenation over ranks in order).  Each rank
+    sends rank ``j`` the block of rows for ``j``'s ids, and receives its
+    own ``own_count`` rows' slices from everyone, which it concatenates
+    column-wise into full-dimension vectors.
+    """
+    counts = [len(ids) for ids in all_ids]
+    if sum(counts) != len(shard_lookup):
+        raise ValueError(
+            f"shard_lookup has {len(shard_lookup)} rows, ids total {sum(counts)}"
+        )
+    offsets = np.cumsum([0] + counts)
+    outgoing = [
+        np.ascontiguousarray(shard_lookup[offsets[j] : offsets[j + 1]])
+        for j in range(comm.world_size)
+    ]
+    received = comm.alltoall(outgoing)
+    for j, block in enumerate(received):
+        if len(block) != own_count:
+            raise ValueError(
+                f"rank {comm.rank}: expected {own_count} rows from rank {j}, got {len(block)}"
+            )
+    return np.concatenate(received, axis=1)

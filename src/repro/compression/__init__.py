@@ -1,0 +1,15 @@
+"""Gradient compression (related-work extension, §6).
+
+The paper lists gradient compression ("reducing messages size with
+gradient compression", QSGD / Deep Gradient Compression) as orthogonal
+and complementary to EmbRace.  This package implements both families
+so the combination can be exercised and benchmarked:
+
+* :mod:`topk` — DGC-style top-k sparsification with error feedback;
+* :mod:`quantize` — QSGD-style stochastic uniform quantization.
+"""
+
+from repro.compression.topk import TopKCompressor
+from repro.compression.quantize import QSGDQuantizer
+
+__all__ = ["TopKCompressor", "QSGDQuantizer"]

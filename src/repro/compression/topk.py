@@ -1,0 +1,71 @@
+"""Top-k gradient sparsification with error feedback (Lin et al., DGC).
+
+Per tensor, only the ``ratio`` largest-magnitude entries are
+communicated; the rest accumulate locally in a residual buffer and are
+added back before the next selection ("error feedback"), which is what
+keeps convergence intact at 100-1000x compression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_probability
+
+
+class TopKCompressor:
+    """Stateful per-tensor top-k compressor.
+
+    One instance per parameter tensor (the residual is tensor-local).
+    ``compress`` returns ``(indices, values)`` over the flattened tensor;
+    ``decompress`` scatters them back into a dense array.
+    """
+
+    def __init__(self, ratio: float = 0.01, min_k: int = 1):
+        check_probability("ratio", ratio)
+        if ratio == 0.0:
+            raise ValueError("ratio must be > 0")
+        if min_k < 1:
+            raise ValueError(f"min_k must be >= 1, got {min_k}")
+        self.ratio = ratio
+        self.min_k = min_k
+        self._residual: np.ndarray | None = None
+
+    def compress(self, grad: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Select top-k of (residual + grad); store the remainder."""
+        grad = np.asarray(grad, dtype=np.float64)
+        flat = grad.reshape(-1)
+        if self._residual is None:
+            self._residual = np.zeros_like(flat)
+        elif self._residual.shape != flat.shape:
+            raise ValueError(
+                f"gradient shape changed: {flat.shape} vs residual "
+                f"{self._residual.shape}"
+            )
+        corrected = self._residual + flat
+        k = max(self.min_k, int(round(self.ratio * flat.size)))
+        k = min(k, flat.size)
+        idx = np.argpartition(np.abs(corrected), flat.size - k)[-k:]
+        idx = np.sort(idx)
+        values = corrected[idx].copy()
+        self._residual = corrected
+        self._residual[idx] = 0.0
+        return idx.astype(np.int64), values
+
+    def decompress(self, indices: np.ndarray, values: np.ndarray, shape) -> np.ndarray:
+        """Scatter ``(indices, values)`` into a dense array of ``shape``."""
+        out = np.zeros(int(np.prod(shape)), dtype=np.float64)
+        np.add.at(out, np.asarray(indices, dtype=np.int64), values)
+        return out.reshape(shape)
+
+    @property
+    def residual_norm(self) -> float:
+        """Magnitude of the locally-held error (0 before first use)."""
+        if self._residual is None:
+            return 0.0
+        return float(np.linalg.norm(self._residual))
+
+    def compressed_bytes(self, numel: int) -> float:
+        """Wire size of one compressed message for a ``numel`` tensor."""
+        k = max(self.min_k, int(round(self.ratio * numel)))
+        return k * (8 + 8)  # int64 index + float64 value

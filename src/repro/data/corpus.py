@@ -1,0 +1,155 @@
+"""Synthetic sentence corpora (monolingual and paired translation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.vocab import Vocab
+from repro.data.zipf import ZipfMixtureSampler, ZipfSampler
+from repro.utils.validation import check_positive
+
+
+def make_sampler(
+    num_words: int,
+    zipf_exponent: float,
+    head_size: int | None = None,
+    head_mass: float = 0.4,
+) -> ZipfSampler:
+    """Plain Zipf sampler, or a head/tail mixture when ``head_size`` is set."""
+    if head_size is None:
+        return ZipfSampler(num_words, zipf_exponent)
+    return ZipfMixtureSampler(
+        num_words, head_size=head_size, head_mass=head_mass,
+        tail_exponent=zipf_exponent,
+    )
+
+
+class SyntheticCorpus:
+    """A stream of variable-length sentences over a Zipfian vocabulary.
+
+    Sentence lengths are drawn uniformly from ``[min_len, max_len]``;
+    each sentence is ``bos + words + eos``.
+
+    ``recurrence`` models *temporal locality*: real corpora are read in
+    document order, so consecutive batches share topical vocabulary far
+    beyond what i.i.d. unigram sampling produces.  With probability
+    ``recurrence`` a word is redrawn uniformly from the most recent
+    ``buffer_size`` emitted words instead of from the Zipf law — this is
+    the knob behind the paper's Table 3 "prioritized" column (the
+    current/next batch intersection of Algorithm 1).
+    """
+
+    def __init__(
+        self,
+        vocab: Vocab,
+        min_len: int = 8,
+        max_len: int = 32,
+        zipf_exponent: float = 1.1,
+        seed: int = 0,
+        head_size: int | None = None,
+        head_mass: float = 0.4,
+        recurrence: float = 0.0,
+        buffer_size: int = 8192,
+    ):
+        if not 0 < min_len <= max_len:
+            raise ValueError(f"need 0 < min_len <= max_len, got ({min_len}, {max_len})")
+        if not 0.0 <= recurrence < 1.0:
+            raise ValueError(f"recurrence must be in [0, 1), got {recurrence}")
+        check_positive("buffer_size", buffer_size)
+        self.vocab = vocab
+        self.min_len = min_len
+        self.max_len = max_len
+        self.sampler = make_sampler(vocab.num_words, zipf_exponent, head_size, head_mass)
+        self.rng = np.random.default_rng(seed)
+        self.recurrence = recurrence
+        self.buffer_size = int(buffer_size)
+        self._recent = np.empty(0, dtype=np.int64)
+        self._recent_unique = np.empty(0, dtype=np.int64)
+        self._pending = 0
+
+    def _remember(self, words: np.ndarray) -> None:
+        if self.recurrence == 0.0:
+            return
+        self._recent = np.concatenate([self._recent, words])[-self.buffer_size :]
+        self._pending += len(words)
+        # Draws reuse the *distinct* recent vocabulary so recurrence raises
+        # cross-batch overlap without re-duplicating within a batch.  The
+        # unique set is refreshed lazily (every ~1/8 buffer turnover):
+        # computing it per sentence would dominate generation time.
+        if self._pending >= max(64, self.buffer_size // 8):
+            self._recent_unique = np.unique(self._recent)
+            self._pending = 0
+
+    def sentence(self) -> np.ndarray:
+        """One sentence of token ids, including bos/eos."""
+        n = int(self.rng.integers(self.min_len, self.max_len + 1))
+        ranks = self.sampler.sample(self.rng, n)
+        words = (ranks + Vocab.NUM_SPECIAL).astype(np.int64)
+        if self.recurrence > 0.0 and len(self._recent_unique):
+            reuse = self.rng.random(n) < self.recurrence
+            if reuse.any():
+                words[reuse] = self.rng.choice(
+                    self._recent_unique, size=int(reuse.sum())
+                )
+        self._remember(words)
+        return np.concatenate(
+            [[self.vocab.bos_id], words, [self.vocab.eos_id]]
+        ).astype(np.int64)
+
+    def sentences(self, n: int) -> list[np.ndarray]:
+        check_positive("n", n)
+        return [self.sentence() for _ in range(n)]
+
+
+class SyntheticPairCorpus:
+    """Source/target sentence pairs for translation workloads.
+
+    Target sentences reuse a fraction of the source's word ranks
+    (translationese correlation) so that encoder/decoder embedding access
+    patterns are realistically coupled.
+    """
+
+    def __init__(
+        self,
+        src_vocab: Vocab,
+        tgt_vocab: Vocab,
+        min_len: int = 8,
+        max_len: int = 32,
+        zipf_exponent: float = 1.1,
+        length_ratio: float = 1.1,
+        seed: int = 0,
+        head_size: int | None = None,
+        head_mass: float = 0.4,
+        recurrence: float = 0.0,
+        buffer_size: int = 8192,
+    ):
+        check_positive("length_ratio", length_ratio)
+        self.src = SyntheticCorpus(
+            src_vocab, min_len, max_len, zipf_exponent, seed,
+            head_size=head_size, head_mass=head_mass,
+            recurrence=recurrence, buffer_size=buffer_size,
+        )
+        # The target side is its own corpus stream with the same locality.
+        self._tgt = SyntheticCorpus(
+            tgt_vocab, min_len, max_len, zipf_exponent, seed + 1,
+            head_size=head_size, head_mass=head_mass,
+            recurrence=recurrence, buffer_size=buffer_size,
+        )
+        self.tgt_vocab = tgt_vocab
+        self.tgt_sampler = self._tgt.sampler
+        self.length_ratio = length_ratio
+        self.rng = np.random.default_rng(seed + 1)
+
+    def pair(self) -> tuple[np.ndarray, np.ndarray]:
+        src = self.src.sentence()
+        n_src = len(src) - 2  # exclude bos/eos
+        n_tgt = max(1, int(round(n_src * self.length_ratio)))
+        saved = self._tgt.min_len, self._tgt.max_len
+        self._tgt.min_len = self._tgt.max_len = n_tgt
+        tgt = self._tgt.sentence()
+        self._tgt.min_len, self._tgt.max_len = saved
+        return src, tgt
+
+    def pairs(self, n: int) -> list[tuple[np.ndarray, np.ndarray]]:
+        check_positive("n", n)
+        return [self.pair() for _ in range(n)]

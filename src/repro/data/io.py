@@ -1,0 +1,103 @@
+"""Dataset persistence: tokenized corpora on disk.
+
+Synthetic corpora are cheap to regenerate, but persisted token streams
+make runs byte-reproducible across machines and let users drop in real
+tokenized data (any ``.npz`` with the same layout works).  The format is
+one ``.npz`` per split holding a flat token array plus sentence offsets
+— the standard packed layout for LM corpora.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.corpus import SyntheticCorpus
+from repro.data.vocab import Vocab
+from repro.utils.validation import check_positive
+
+
+def pack_sentences(sentences: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten sentences into ``(tokens, offsets)``.
+
+    ``offsets`` has ``len(sentences) + 1`` entries; sentence *i* is
+    ``tokens[offsets[i]:offsets[i+1]]``.
+    """
+    if not sentences:
+        raise ValueError("need at least one sentence")
+    lengths = np.array([len(s) for s in sentences], dtype=np.int64)
+    if (lengths == 0).any():
+        raise ValueError("empty sentences cannot be packed")
+    offsets = np.concatenate([[0], np.cumsum(lengths)])
+    tokens = np.concatenate(sentences).astype(np.int64)
+    return tokens, offsets
+
+
+def unpack_sentences(tokens: np.ndarray, offsets: np.ndarray) -> list[np.ndarray]:
+    """Inverse of :func:`pack_sentences`."""
+    tokens = np.asarray(tokens, dtype=np.int64)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if offsets.ndim != 1 or len(offsets) < 2:
+        raise ValueError("offsets must be 1-D with at least 2 entries")
+    if offsets[0] != 0 or offsets[-1] != len(tokens):
+        raise ValueError("offsets must start at 0 and end at len(tokens)")
+    if (np.diff(offsets) <= 0).any():
+        raise ValueError("offsets must be strictly increasing")
+    return [tokens[offsets[i] : offsets[i + 1]] for i in range(len(offsets) - 1)]
+
+
+def save_corpus(
+    path: str, sentences: list[np.ndarray], vocab_size: int
+) -> None:
+    """Persist sentences (+ vocab size for validation on reload)."""
+    check_positive("vocab_size", vocab_size)
+    tokens, offsets = pack_sentences(sentences)
+    if tokens.size and tokens.max() >= vocab_size:
+        raise ValueError(
+            f"token id {tokens.max()} exceeds vocab size {vocab_size}"
+        )
+    np.savez_compressed(
+        path,
+        tokens=tokens,
+        offsets=offsets,
+        vocab_size=np.array(vocab_size, dtype=np.int64),
+    )
+
+
+def load_corpus(path: str) -> tuple[list[np.ndarray], int]:
+    """Load sentences saved by :func:`save_corpus`; returns (sentences, vocab)."""
+    with np.load(path) as archive:
+        sentences = unpack_sentences(archive["tokens"], archive["offsets"])
+        return sentences, int(archive["vocab_size"])
+
+
+class FileCorpus:
+    """A corpus replaying persisted sentences (cycling at the end).
+
+    Drop-in for :class:`~repro.data.SyntheticCorpus` wherever only
+    ``sentence()`` / ``sentences()`` / ``vocab`` are used.
+    """
+
+    def __init__(self, path: str):
+        self._sentences, vocab_size = load_corpus(path)
+        self.vocab = Vocab(vocab_size)
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._sentences)
+
+    def sentence(self) -> np.ndarray:
+        s = self._sentences[self._cursor % len(self._sentences)]
+        self._cursor += 1
+        return s
+
+    def sentences(self, n: int) -> list[np.ndarray]:
+        check_positive("n", n)
+        return [self.sentence() for _ in range(n)]
+
+
+def materialize_synthetic(
+    path: str, corpus: SyntheticCorpus, n_sentences: int
+) -> None:
+    """Generate ``n_sentences`` from a synthetic corpus and persist them."""
+    check_positive("n_sentences", n_sentences)
+    save_corpus(path, corpus.sentences(n_sentences), corpus.vocab.size)

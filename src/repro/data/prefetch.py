@@ -1,0 +1,42 @@
+"""One-step-ahead batch prefetching.
+
+§4.2.2: *"we adopt the data prefetch technology, which always keeps the
+data of the next iteration in memory. Thanks to the prefetch, we are
+aware of the data used in the next iteration."*  :class:`Prefetcher`
+provides exactly that contract: ``next()`` yields the current batch
+while ``peek()`` exposes the following one for Algorithm 1's
+intersection.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.data.batching import Batch
+
+
+class Prefetcher:
+    """Wraps a batch iterator, always holding the next batch in memory."""
+
+    def __init__(self, source: Iterator[Batch]):
+        self._source = iter(source)
+        self._next: Batch | None = self._pull()
+
+    def _pull(self) -> Batch | None:
+        try:
+            return next(self._source)
+        except StopIteration:
+            return None
+
+    def peek(self) -> Batch | None:
+        """The batch the *next* call to ``next()`` will return (or None)."""
+        return self._next
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> Batch:
+        if self._next is None:
+            raise StopIteration
+        current, self._next = self._next, self._pull()
+        return current

@@ -1,0 +1,44 @@
+"""Batch shaping: padding variable-length sentences to rectangles.
+
+§4.2.2: *"when a tokenizer deals with sentences into uniformly shaped
+batches, the same value will be padded. With padding and duplicate
+words, the sparse embedding gradients would have repeated coordinates"*
+— padding is therefore part of the mechanism, not an artifact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pad_batch(
+    sentences: list[np.ndarray],
+    pad_id: int,
+    max_len: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stack sentences into ``(batch, L)`` right-padded with ``pad_id``.
+
+    Returns ``(ids, lengths)`` where ``lengths`` are the pre-padding
+    sentence lengths (clipped to ``max_len`` when truncating).
+    """
+    if not sentences:
+        raise ValueError("pad_batch requires at least one sentence")
+    lengths = np.array([len(s) for s in sentences], dtype=np.int64)
+    if (lengths == 0).any():
+        raise ValueError("empty sentences cannot be padded")
+    width = int(lengths.max())
+    if max_len is not None:
+        if max_len <= 0:
+            raise ValueError(f"max_len must be positive, got {max_len}")
+        width = min(width, max_len)
+    out = np.full((len(sentences), width), pad_id, dtype=np.int64)
+    for i, s in enumerate(sentences):
+        n = min(len(s), width)
+        out[i, :n] = s[:n]
+        lengths[i] = n
+    return out, lengths
+
+
+def count_tokens(ids: np.ndarray, pad_id: int) -> int:
+    """Non-padding token count — the paper's throughput unit (§5.2.2)."""
+    return int((np.asarray(ids) != pad_id).sum())

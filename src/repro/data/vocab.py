@@ -1,0 +1,42 @@
+"""Vocabulary with the special tokens the tokenizer relies on."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Vocab:
+    """An integer-id vocabulary: ``[pad, bos, eos, unk, words...]``.
+
+    ``size`` counts every id including specials; word ids occupy
+    ``[num_special, size)``.
+    """
+
+    size: int
+    pad_id: int = 0
+    bos_id: int = 1
+    eos_id: int = 2
+    unk_id: int = 3
+
+    NUM_SPECIAL = 4
+
+    def __post_init__(self) -> None:
+        if self.size <= self.NUM_SPECIAL:
+            raise ValueError(
+                f"vocab size must exceed {self.NUM_SPECIAL} specials, got {self.size}"
+            )
+        ids = {self.pad_id, self.bos_id, self.eos_id, self.unk_id}
+        if len(ids) != 4 or max(ids) >= self.NUM_SPECIAL:
+            raise ValueError("special ids must be distinct and < NUM_SPECIAL")
+
+    @property
+    def num_words(self) -> int:
+        """Number of non-special word ids."""
+        return self.size - self.NUM_SPECIAL
+
+    def word_id(self, rank: int) -> int:
+        """Id of the ``rank``-th most frequent word (0-based)."""
+        if not 0 <= rank < self.num_words:
+            raise ValueError(f"word rank {rank} out of range [0, {self.num_words})")
+        return self.NUM_SPECIAL + rank

@@ -1,0 +1,28 @@
+"""Training engines.
+
+* :mod:`workload` — samples synthetic batch streams at paper scale and
+  measures the embedding-gradient statistics (Table 3) that parameterize
+  the step simulation;
+* :mod:`step_simulator` — compiles and executes one strategy step on the
+  discrete-event core, yielding makespan / Computation Stall / overlap;
+* :mod:`trainer_sim` — multi-configuration throughput evaluation
+  (tokens/s, Fig. 7/8/9/10);
+* :mod:`trainer_real` — actually trains tiny-scale models with real
+  multi-worker communication semantics (Fig. 11 and correctness tests).
+"""
+
+from repro.engine.workload import WorkloadStats, measure_workload
+from repro.engine.step_simulator import StepReport, simulate_step
+from repro.engine.trainer_sim import ThroughputResult, simulate_training
+from repro.engine.trainer_real import RealTrainer, TrainResult
+
+__all__ = [
+    "WorkloadStats",
+    "measure_workload",
+    "StepReport",
+    "simulate_step",
+    "ThroughputResult",
+    "simulate_training",
+    "RealTrainer",
+    "TrainResult",
+]

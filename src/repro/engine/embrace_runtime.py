@@ -1,0 +1,111 @@
+"""Reusable per-table EmbRace runtime.
+
+:class:`EmbraceTableRuntime` encapsulates the full lifecycle of one
+column-partitioned embedding table under EmbRace semantics, so any
+training loop (not just :class:`~repro.engine.trainer_real.RealTrainer`)
+can adopt it:
+
+* ``apply_gradient`` — Algorithm 1 split, the two AlltoAll column-shard
+  exchanges, and the modified-Adam shard updates;
+* ``refresh_rows`` — the forward lookup-result AlltoAll that rewrites
+  the local replica's rows for the upcoming batch;
+* ``gather_full_table`` — reassemble the authoritative table from all
+  ranks' column shards (checkpointing / evaluation).
+
+The local replica trick: each rank holds the full ``(vocab, dim)``
+array but only its column slice is authoritative; ``refresh_rows``
+makes exactly the rows the next forward reads fresh, which is
+numerically identical to true model parallelism while letting the
+unmodified model code look up locally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm import (
+    Communicator,
+    alltoall_column_shards,
+    alltoall_lookup_results,
+    column_slices,
+)
+from repro.nn.embedding import Embedding
+from repro.nn.parameter import Parameter
+from repro.optim import EmbraceAdam
+from repro.schedule.vertical import vertical_split
+from repro.tensors import SparseRows
+
+
+class EmbraceTableRuntime:
+    """EmbRace semantics for one embedding table on one rank."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        table: Embedding,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+    ):
+        self.comm = comm
+        self.table = table
+        cols = column_slices(table.embedding_dim, comm.world_size)
+        self.my_columns = cols[comm.rank]
+        # A writable view of this rank's authoritative columns.
+        self.shard = Parameter(
+            table.weight.data[:, self.my_columns],
+            name=f"{table.weight.name}.shard{comm.rank}",
+            sparse_grad=True,
+        )
+        self.optimizer = EmbraceAdam([self.shard], lr=lr, betas=betas)
+
+    # ------------------------------------------------------------------ #
+    def apply_gradient(
+        self,
+        grad: SparseRows,
+        current_ids: np.ndarray,
+        next_ids: np.ndarray | None,
+        scale: float = 1.0,
+    ) -> tuple[int, int]:
+        """One iteration's sparse update (Algorithm 1 + AlltoAll + Adam).
+
+        ``next_ids`` is the *gathered* next-iteration token set (pass
+        ``None`` at end of stream: everything becomes prior).  ``scale``
+        divides the cross-rank sum (gradient averaging).  Returns the
+        (prior, delayed) row counts actually exchanged.
+        """
+        if next_ids is None:
+            prior = grad.coalesce()
+            delayed = SparseRows.empty(grad.num_rows, grad.dim, grad.values.dtype)
+        else:
+            prior, delayed = vertical_split(grad, current_ids, next_ids)
+        prior_shard = alltoall_column_shards(self.comm, prior).scale(scale)
+        self.optimizer.apply_sparse_part(self.shard, prior_shard, final=False)
+        delayed_shard = alltoall_column_shards(self.comm, delayed).scale(scale)
+        self.optimizer.apply_sparse_part(self.shard, delayed_shard, final=True)
+        return prior.nnz_rows, delayed.nnz_rows
+
+    def refresh_rows(self, local_ids: np.ndarray) -> None:
+        """Rewrite the replica's ``local_ids`` rows with fresh values.
+
+        Performs the forward AlltoAll of §4.1.1: every rank looks up all
+        ranks' ids against its own columns; each rank reassembles its
+        ids' full-dimension vectors.
+        """
+        local_ids = np.asarray(local_ids, dtype=np.int64)
+        all_ids = self.comm.allgather(local_ids)
+        shard_lookup = np.concatenate(
+            [
+                np.ascontiguousarray(self.table.weight.data[ids][:, self.my_columns])
+                for ids in all_ids
+            ]
+        )
+        fresh = alltoall_lookup_results(
+            self.comm, all_ids, shard_lookup, own_count=len(local_ids)
+        )
+        self.table.weight.data[local_ids] = fresh
+
+    def gather_full_table(self) -> np.ndarray:
+        """Authoritative full table assembled from every rank's shard."""
+        own = np.ascontiguousarray(self.table.weight.data[:, self.my_columns])
+        blocks = self.comm.allgather(own)
+        return np.concatenate(blocks, axis=1)

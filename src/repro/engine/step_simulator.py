@@ -1,0 +1,48 @@
+"""Single-step simulation: strategy -> task graph -> executed trace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import Trace, execute
+from repro.strategies.base import COMM, COMPUTE, StepContext, Strategy
+
+
+@dataclass(frozen=True)
+class StepReport:
+    """Metrics of one simulated steady-state training step."""
+
+    strategy: str
+    step_time: float  # makespan (seconds)
+    computation_stall: float  # §5.4 definition
+    compute_time: float  # useful FP+BP seconds
+    comm_time: float  # total collective seconds (overlapped or not)
+    overlap_ratio: float
+    trace: Trace
+
+    def __post_init__(self) -> None:
+        if self.step_time + 1e-12 < self.compute_time:
+            raise AssertionError(
+                f"{self.strategy}: makespan {self.step_time} < compute {self.compute_time}"
+            )
+
+
+def simulate_step(strategy: Strategy, ctx: StepContext) -> StepReport:
+    """Compile and execute one step; return its metrics."""
+    graph = strategy.build_step(ctx)
+    trace = execute(graph)
+    stall = trace.computation_stall(COMPUTE)
+    useful = sum(
+        e.duration
+        for e in trace.entries
+        if e.resource == COMPUTE and e.kind == "compute"
+    )
+    return StepReport(
+        strategy=strategy.name,
+        step_time=trace.makespan,
+        computation_stall=stall,
+        compute_time=useful,
+        comm_time=trace.busy_time(COMM),
+        overlap_ratio=trace.overlap_ratio(COMM),
+        trace=trace,
+    )

@@ -1,0 +1,73 @@
+"""Token / span accuracy metrics.
+
+The BERT-base benchmark is SQuAD question answering (§5.2.2); its
+standard metrics are span Exact-Match and token-overlap F1, implemented
+here over predicted/gold ``(start, end)`` index pairs.  Token accuracy
+serves the LM/translation models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def token_accuracy(
+    predictions: np.ndarray, targets: np.ndarray, pad_id: int | None = 0
+) -> float:
+    """Fraction of non-padding positions predicted exactly."""
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    if predictions.shape != targets.shape:
+        raise ValueError(
+            f"shape mismatch: {predictions.shape} vs {targets.shape}"
+        )
+    if pad_id is not None:
+        mask = targets != pad_id
+    else:
+        mask = np.ones_like(targets, dtype=bool)
+    total = int(mask.sum())
+    if total == 0:
+        return 0.0
+    return float((predictions[mask] == targets[mask]).sum() / total)
+
+
+def span_exact_match(
+    pred_spans: np.ndarray, gold_spans: np.ndarray
+) -> float:
+    """SQuAD Exact Match: both endpoints correct. Spans are (n, 2)."""
+    pred_spans, gold_spans = _check_spans(pred_spans, gold_spans)
+    return float(np.all(pred_spans == gold_spans, axis=1).mean())
+
+
+def span_f1(pred_spans: np.ndarray, gold_spans: np.ndarray) -> float:
+    """SQuAD-style token-overlap F1 averaged over examples.
+
+    For each example, precision/recall are computed over the inclusive
+    token ranges ``[start, end]``; non-overlapping spans score 0.
+    """
+    pred_spans, gold_spans = _check_spans(pred_spans, gold_spans)
+    scores = []
+    for (ps, pe), (gs, ge) in zip(pred_spans, gold_spans):
+        lo, hi = max(ps, gs), min(pe, ge)
+        overlap = max(0, hi - lo + 1)
+        pred_len = max(0, pe - ps + 1)
+        gold_len = max(0, ge - gs + 1)
+        if overlap == 0 or pred_len == 0 or gold_len == 0:
+            scores.append(0.0)
+            continue
+        precision = overlap / pred_len
+        recall = overlap / gold_len
+        scores.append(2 * precision * recall / (precision + recall))
+    return float(np.mean(scores))
+
+
+def _check_spans(pred, gold) -> tuple[np.ndarray, np.ndarray]:
+    pred = np.asarray(pred, dtype=np.int64)
+    gold = np.asarray(gold, dtype=np.int64)
+    if pred.ndim != 2 or pred.shape[1] != 2:
+        raise ValueError(f"spans must be (n, 2), got {pred.shape}")
+    if pred.shape != gold.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {gold.shape}")
+    if pred.shape[0] == 0:
+        raise ValueError("need at least one span")
+    return pred, gold

@@ -1,0 +1,73 @@
+"""Corpus BLEU-4 (Papineni et al., 2002) with add-1 smoothing.
+
+Used to trace GNMT-8 convergence (Fig. 11b).  Implemented from the
+definition: geometric mean of clipped n-gram precisions (n = 1..4)
+times a brevity penalty, with add-one smoothing on higher-order
+precisions so early-training scores are defined.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import numpy as np
+
+
+def sentence_ngrams(tokens: np.ndarray, n: int) -> Counter:
+    """Multiset of n-grams (as tuples) of a token-id sequence."""
+    tokens = [int(t) for t in np.asarray(tokens).ravel()]
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return Counter(tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1))
+
+
+def bleu(
+    hypotheses: list[np.ndarray],
+    references: list[np.ndarray],
+    max_n: int = 4,
+    pad_id: int | None = 0,
+) -> float:
+    """Corpus-level BLEU in [0, 100].
+
+    ``pad_id`` tokens are stripped from both sides before scoring.
+    """
+    if len(hypotheses) != len(references):
+        raise ValueError(
+            f"{len(hypotheses)} hypotheses vs {len(references)} references"
+        )
+    if not hypotheses:
+        raise ValueError("bleu requires at least one sentence pair")
+
+    def clean(seq):
+        seq = np.asarray(seq).ravel()
+        return seq[seq != pad_id] if pad_id is not None else seq
+
+    hyp_len = ref_len = 0
+    matches = [0] * max_n
+    totals = [0] * max_n
+    for hyp, ref in zip(hypotheses, references):
+        hyp, ref = clean(hyp), clean(ref)
+        hyp_len += len(hyp)
+        ref_len += len(ref)
+        for n in range(1, max_n + 1):
+            h = sentence_ngrams(hyp, n)
+            r = sentence_ngrams(ref, n)
+            totals[n - 1] += sum(h.values())
+            matches[n - 1] += sum(min(c, r[g]) for g, c in h.items())
+
+    if hyp_len == 0:
+        return 0.0
+    log_precisions = []
+    for n in range(max_n):
+        m, t = matches[n], totals[n]
+        if n == 0:
+            if m == 0:
+                return 0.0
+            p = m / t
+        else:
+            p = (m + 1) / (t + 1) if t > 0 else 1.0  # add-1 smoothing
+        log_precisions.append(math.log(p))
+    geo = math.exp(sum(log_precisions) / max_n)
+    bp = 1.0 if hyp_len > ref_len else math.exp(1 - ref_len / max(hyp_len, 1))
+    return 100.0 * bp * geo

@@ -1,0 +1,28 @@
+"""Perplexity: exp of mean token cross-entropy."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Cap before exponentiation so early-training curves stay finite.
+_MAX_LOG_PPL = 30.0
+
+
+def perplexity(mean_loss: float) -> float:
+    """PPL of a mean per-token cross-entropy (natural log)."""
+    if mean_loss < 0:
+        raise ValueError(f"cross-entropy cannot be negative, got {mean_loss}")
+    return math.exp(min(mean_loss, _MAX_LOG_PPL))
+
+
+def perplexity_curve(losses: list[float], smooth: int = 1) -> list[float]:
+    """PPL per step, optionally smoothed with a trailing mean of ``smooth``."""
+    if smooth < 1:
+        raise ValueError(f"smooth must be >= 1, got {smooth}")
+    out = []
+    for i in range(len(losses)):
+        window = losses[max(0, i - smooth + 1) : i + 1]
+        out.append(perplexity(float(np.mean(window))))
+    return out

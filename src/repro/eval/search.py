@@ -1,0 +1,109 @@
+"""Autoregressive decoding: greedy and beam search.
+
+The convergence experiments track BLEU with teacher-forced argmax (fast,
+deterministic); for *real* translation quality this module decodes
+autoregressively.  Both translation models expose
+``decode_logits(src, partial_tgt)`` — a forward-only pass returning
+next-token logits — which the searches drive position by position.
+Tiny-scale models re-run the full forward per step (O(L^2) total), which
+is fine at test scale and keeps the model code single-path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.utils.validation import check_positive
+
+
+def greedy_decode(
+    model,
+    src: np.ndarray,
+    max_len: int = 16,
+    bos_id: int = 1,
+    eos_id: int = 2,
+) -> np.ndarray:
+    """Greedy autoregressive decoding of a source batch.
+
+    Returns ``(batch, <=max_len)`` generated ids (without bos; padded
+    with 0 after eos).
+    """
+    check_positive("max_len", max_len)
+    batch = src.shape[0]
+    tgt = np.full((batch, 1), bos_id, dtype=np.int64)
+    finished = np.zeros(batch, dtype=bool)
+    for _ in range(max_len):
+        logits = model.decode_logits(src, tgt)  # (batch, len, vocab)
+        next_ids = np.argmax(logits[:, -1, :], axis=-1)
+        next_ids = np.where(finished, 0, next_ids)
+        tgt = np.concatenate([tgt, next_ids[:, None]], axis=1)
+        finished |= next_ids == eos_id
+        if finished.all():
+            break
+    return tgt[:, 1:]
+
+
+def beam_decode(
+    model,
+    src: np.ndarray,
+    beam_size: int = 4,
+    max_len: int = 16,
+    bos_id: int = 1,
+    eos_id: int = 2,
+    length_penalty: float = 0.0,
+) -> tuple[np.ndarray, float]:
+    """Beam search for a *single* source sentence.
+
+    ``src`` is ``(1, src_len)``.  Returns ``(ids, score)`` — the best
+    hypothesis (without bos) and its length-normalized log-probability.
+    """
+    check_positive("beam_size", beam_size)
+    check_positive("max_len", max_len)
+    if src.shape[0] != 1:
+        raise ValueError(f"beam_decode takes one sentence, got batch {src.shape[0]}")
+
+    beams: list[tuple[list[int], float, bool]] = [([bos_id], 0.0, False)]
+    for _ in range(max_len):
+        candidates: list[tuple[list[int], float, bool]] = []
+        for ids, score, done in beams:
+            if done:
+                candidates.append((ids, score, True))
+                continue
+            tgt = np.array([ids], dtype=np.int64)
+            logits = model.decode_logits(src, tgt)
+            log_probs = F.log_softmax(logits[0, -1, :])
+            top = np.argsort(log_probs)[-beam_size:]
+            for token in top:
+                candidates.append(
+                    (
+                        ids + [int(token)],
+                        score + float(log_probs[token]),
+                        token == eos_id,
+                    )
+                )
+        # Keep the best `beam_size` by length-normalized score.
+        def norm(c):
+            ids, score, _ = c
+            length = max(1, len(ids) - 1)
+            return score / (length**length_penalty) if length_penalty else score
+
+        candidates.sort(key=norm, reverse=True)
+        beams = candidates[:beam_size]
+        if all(done for _, _, done in beams):
+            break
+
+    best_ids, best_score, _ = max(beams, key=lambda c: c[1] / max(1, len(c[0]) - 1))
+    return np.array(best_ids[1:], dtype=np.int64), best_score
+
+
+def sequence_log_prob(model, src: np.ndarray, tgt_ids: np.ndarray,
+                      bos_id: int = 1) -> float:
+    """Log-probability of a target sequence under the model (teacher-forced)."""
+    tgt_ids = np.asarray(tgt_ids, dtype=np.int64).reshape(-1)
+    if len(tgt_ids) == 0:
+        raise ValueError("need at least one target token")
+    tgt_in = np.concatenate([[bos_id], tgt_ids])[None, :-1]
+    logits = model.decode_logits(src, tgt_in)
+    log_probs = F.log_softmax(logits[0])
+    return float(log_probs[np.arange(len(tgt_ids)), tgt_ids].sum())

@@ -1,0 +1,42 @@
+"""Reproduction experiments: one module per paper table/figure.
+
+Every module exposes ``run() -> ExperimentResult`` that regenerates the
+corresponding rows/series, compares them against the paper's reported
+values (:mod:`paper_values`), and states whether the qualitative shape
+holds.  ``harness.run_all()`` executes everything and renders
+``EXPERIMENTS.md``.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments import (
+    fig1,
+    fig4,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.harness import ALL_EXPERIMENTS, run_all, render_markdown
+
+__all__ = [
+    "ExperimentResult",
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig4",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "ALL_EXPERIMENTS",
+    "run_all",
+    "render_markdown",
+]

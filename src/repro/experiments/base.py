@@ -1,0 +1,32 @@
+"""Common experiment-result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure.
+
+    ``tables`` hold the regenerated rows (rendered ASCII); ``findings``
+    are shape-level comparisons against the paper ("EmbRace fastest in
+    all 48 cells; speedup band 1.02-1.44x vs paper 1.02-2.41x"); ``data``
+    keeps the raw numbers for programmatic use (benchmarks, plots).
+    """
+
+    exp_id: str
+    title: str
+    tables: list[str] = field(default_factory=list)
+    findings: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [f"## {self.exp_id}: {self.title}", ""]
+        for t in self.tables:
+            parts += ["```", t, "```", ""]
+        if self.findings:
+            parts.append("**Findings (paper vs measured):**")
+            parts += [f"- {f}" for f in self.findings]
+            parts.append("")
+        return "\n".join(parts)

@@ -1,0 +1,68 @@
+"""Fig. 1: sparse data movement of AllReduce vs AllGather (3 processes).
+
+The paper's Fig. 1 illustrates that AllReduce "has to communicate and
+sum all data including zeros, while AllGather only sends the non-zero
+values".  We reproduce it *executably*: three real workers move one
+sparse tensor with each primitive, and we count actual bytes on the
+wire per worker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm import allgather_sparse, run_threaded
+from repro.experiments.base import ExperimentResult
+from repro.tensors import SparseRows
+from repro.utils.tables import Table
+
+NUM_ROWS, DIM = 12, 8
+NNZ_PER_RANK = 2
+
+
+def _grad(rank: int) -> SparseRows:
+    rng = np.random.default_rng(rank)
+    idx = rng.choice(NUM_ROWS, size=NNZ_PER_RANK, replace=False)
+    return SparseRows(idx, rng.normal(size=(NNZ_PER_RANK, DIM)), NUM_ROWS)
+
+
+def run() -> ExperimentResult:
+    def allreduce_worker(comm):
+        dense = _grad(comm.rank).to_dense()
+        out = comm.allreduce(dense)
+        return comm.bytes_sent, out
+
+    def allgather_worker(comm):
+        parts = allgather_sparse(comm, _grad(comm.rank))
+        total = SparseRows.concat(parts).coalesce()
+        return comm.bytes_sent, total.to_dense()
+
+    ar = run_threaded(3, allreduce_worker)
+    ag = run_threaded(3, allgather_worker)
+
+    # Both primitives produce the same aggregated tensor.
+    expected = sum(_grad(r).to_dense() for r in range(3))
+    correct = all(np.allclose(out, expected) for _, out in ar) and all(
+        np.allclose(out, expected) for _, out in ag
+    )
+
+    table = Table(
+        ["Primitive", "Bytes sent per worker", "Payload character"],
+        title="Fig. 1 — sparse aggregation on 3 real workers (12x8 table, 2 rows/worker)",
+    )
+    ar_bytes = ar[0][0]
+    ag_bytes = ag[0][0]
+    table.add_row(["AllReduce (densified)", ar_bytes, "full table incl. zeros"])
+    table.add_row(["AllGather (sparse COO)", ag_bytes, "non-zero rows + indices"])
+    return ExperimentResult(
+        exp_id="Fig 1",
+        title="Sparse data movement: AllReduce vs AllGather",
+        tables=[table.render()],
+        findings=[
+            f"Both produce identical aggregated tensors: {correct}.",
+            f"AllReduce moved {ar_bytes} bytes/worker (zeros included) vs "
+            f"AllGather's {ag_bytes} — a {ar_bytes / ag_bytes:.1f}x inflation "
+            "at this 17% density, matching the figure's message.",
+        ],
+        data={"allreduce_bytes": ar_bytes, "allgather_bytes": ag_bytes},
+    )

@@ -1,0 +1,98 @@
+"""Fig. 11: convergence of EmbRace vs Horovod-AllGather.
+
+The paper trains LM (PPL vs steps) and GNMT-8 (BLEU vs epochs) on 8
+RTX3090 GPUs and shows both methods converging identically.  We run the
+two strategies on the *real* multi-worker backend at tiny scale and show
+something stronger: the update sequences are bit-identical, so the PPL
+curves coincide exactly and the BLEU trajectories coincide exactly.
+
+(We cannot reach the paper's absolute PPL 41.5 / BLEU 24.0 — those need
+LM1B/WMT data and GPU-weeks — but the figure's *claim* is the equality
+of the two curves, which we reproduce in its strongest form.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.trainer_real import RealTrainer
+from repro.eval import bleu, perplexity_curve
+from repro.experiments.base import ExperimentResult
+from repro.models import GNMT8, LM
+from repro.utils.tables import Table
+
+
+def run(steps: int = 12, world_size: int = 2, seed: int = 0) -> ExperimentResult:
+    # --- (a) LM: PPL vs steps --------------------------------------- #
+    lm_cfg = LM.scaled(vocab=256, dim_divisor=32)
+    lm = {
+        strat: RealTrainer(
+            lm_cfg, strategy=strat, world_size=world_size, steps=steps,
+            lr=5e-3, seed=seed,
+        ).train()
+        for strat in ("allgather", "embrace")
+    }
+    ppl = {s: perplexity_curve(r.losses, smooth=3) for s, r in lm.items()}
+    ppl_identical = ppl["allgather"] == ppl["embrace"]
+    ppl_decreasing = ppl["embrace"][-1] < ppl["embrace"][0]
+
+    table_a = Table(
+        ["step", "PPL Horovod-AllGather", "PPL EmbRace"],
+        title=f"Fig. 11a — LM perplexity vs steps ({world_size} real workers)",
+    )
+    for i in range(0, steps, max(1, steps // 8)):
+        table_a.add_row([i, f"{ppl['allgather'][i]:.2f}", f"{ppl['embrace'][i]:.2f}"])
+
+    # --- (b) GNMT-8: BLEU vs training progress ----------------------- #
+    mt_cfg = GNMT8.scaled(vocab=128, dim_divisor=32)
+    mt = {
+        strat: RealTrainer(
+            mt_cfg, strategy=strat, world_size=world_size, steps=steps,
+            lr=5e-3, seed=seed, record_predictions=True,
+        ).train()
+        for strat in ("allgather", "embrace")
+    }
+
+    # Predictions are recorded per step; BLEU trajectories compare the
+    # two strategies' predictions directly (identical => same BLEU).
+    traj_identical = all(
+        np.array_equal(a, b)
+        for a, b in zip(mt["allgather"].predictions, mt["embrace"].predictions)
+    )
+    # BLEU of final predictions against each other (100 iff identical).
+    cross = bleu(
+        [p for p in mt["allgather"].predictions[-1]],
+        [p for p in mt["embrace"].predictions[-1]],
+        pad_id=0,
+    )
+    table_b = Table(
+        ["step", "loss Horovod-AllGather", "loss EmbRace"],
+        title=f"Fig. 11b — GNMT-8 loss vs steps ({world_size} real workers)",
+    )
+    for i in range(0, steps, max(1, steps // 8)):
+        table_b.add_row(
+            [i, f"{mt['allgather'].losses[i]:.4f}", f"{mt['embrace'].losses[i]:.4f}"]
+        )
+
+    return ExperimentResult(
+        exp_id="Fig 11",
+        title="Convergence: EmbRace vs Horovod-AllGather (real execution)",
+        tables=[table_a.render(), table_b.render()],
+        findings=[
+            f"LM PPL curves are *exactly* identical across strategies: "
+            f"{ppl_identical} (paper: 'both methods converge the model into "
+            "PPL 41.5 ... in similar numbers of training iterations').",
+            f"LM PPL decreases over training: {ppl_decreasing}.",
+            f"GNMT-8 per-step predictions are bit-identical across "
+            f"strategies: {traj_identical} (cross-BLEU of final predictions "
+            f"= {cross:.1f}; 100.0 means token-for-token equality), hence "
+            "BLEU-vs-epoch curves coincide exactly.",
+            "Mechanism: the split prior/delayed update with the modified "
+            "Adam (§5.7) is bit-equal to a fused update — property-tested "
+            "in tests/test_optim.py.",
+        ],
+        data={
+            "lm_ppl": ppl,
+            "gnmt_losses": {s: r.losses for s, r in mt.items()},
+        },
+    )

@@ -1,0 +1,83 @@
+"""Fig. 4: embedding-gradient communication overhead vs sparsity.
+
+(a) 2 nodes x 4 RTX3090 GPUs — AlltoAll overtakes every other scheme
+    beyond a ~40% sparsity crossover;
+(b) 4 nodes x 1 RTX3090 GPU — AlltoAll is best at *every* sparsity;
+    OmniReduce improves with sparsity but never catches AlltoAll.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster import rtx3090_cluster
+from repro.collectives import crossover_sparsity, sparsity_sweep
+from repro.experiments.base import ExperimentResult
+from repro.utils.plot import line_chart
+from repro.utils.tables import Table
+from repro.utils.units import MB
+
+TABLE_BYTES = 252.5 * MB  # GNMT-8 embedding
+ROW_BYTES = 1024 * 4.0
+
+
+def _sweep_table(title: str, sweep: dict[str, np.ndarray]) -> Table:
+    schemes = [k for k in sweep if k != "sparsity"]
+    table = Table(["sparsity"] + schemes, title=title)
+    for i in range(0, len(sweep["sparsity"]), 4):
+        table.add_row(
+            [f"{sweep['sparsity'][i]:.2f}"]
+            + [f"{sweep[s][i] * 1e3:.1f} ms" for s in schemes]
+        )
+    return table
+
+
+def run() -> ExperimentResult:
+    # (a) 8 GPUs over 2 nodes.
+    cluster_a = rtx3090_cluster(num_nodes=2, gpus_per_node=4)
+    sweep_a = sparsity_sweep(
+        cluster_a, TABLE_BYTES,
+        schemes=("alltoall", "allreduce", "allgather", "ps"),
+        row_bytes=ROW_BYTES,
+    )
+    crossover = crossover_sparsity(cluster_a, TABLE_BYTES, row_bytes=ROW_BYTES)
+
+    # (b) 4 GPUs over 4 nodes (OmniReduce's supported topology).
+    cluster_b = rtx3090_cluster(num_nodes=4, gpus_per_node=1)
+    sweep_b = sparsity_sweep(
+        cluster_b, TABLE_BYTES,
+        schemes=("alltoall", "allreduce", "allgather", "omnireduce", "ps"),
+        row_bytes=ROW_BYTES,
+    )
+    others = np.vstack(
+        [sweep_b[s] for s in ("allreduce", "allgather", "omnireduce", "ps")]
+    )
+    b_always_best = bool(np.all(sweep_b["alltoall"] <= others.min(axis=0) + 1e-12))
+    omni_monotone = bool(np.all(np.diff(sweep_b["omnireduce"]) <= 1e-12))
+
+    return ExperimentResult(
+        exp_id="Fig 4",
+        title="Embedding gradient communication overhead vs sparsity (252.5 MB table)",
+        tables=[
+            _sweep_table("Fig. 4a — 2 nodes x 4 RTX3090", sweep_a).render(),
+            line_chart(
+                {k: v * 1e3 for k, v in sweep_a.items() if k != "sparsity"},
+                width=60,
+                height=10,
+                y_label="Fig. 4a as a chart — overhead (ms) vs sparsity (left=0, right=0.99)",
+            ),
+            _sweep_table("Fig. 4b — 4 nodes x 1 RTX3090", sweep_b).render(),
+        ],
+        findings=[
+            f"Fig 4a: AlltoAll-vs-AllReduce crossover at {crossover:.0%} "
+            "sparsity (paper: 'AlltoAll outperforms other methods when the "
+            "sparsity is greater than 40%').",
+            f"Fig 4b: AlltoAll best at every sparsity: {b_always_best} "
+            "(paper: 'AlltoAll is the best method in all sparsity').",
+            f"Fig 4b: OmniReduce's overhead falls monotonically with sparsity "
+            f"but stays above AlltoAll: {omni_monotone} (paper: 'OmniReduce "
+            "could reduce the communication overheads along with the increase "
+            "of sparsity, but they suffer from insufficient bandwidth usage').",
+        ],
+        data={"crossover": crossover, "sweep_a": sweep_a, "sweep_b": sweep_b},
+    )

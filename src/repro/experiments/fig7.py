@@ -1,0 +1,65 @@
+"""Fig. 7: end-to-end training throughput (tokens/s).
+
+4 models x {4, 8, 16} GPUs x {RTX3090, RTX2080} x 5 methods; the paper
+reports EmbRace's speedup over the best baseline in each cell's caption.
+"""
+
+from __future__ import annotations
+
+from repro.engine.trainer_sim import simulate_training
+from repro.experiments.base import ExperimentResult
+from repro.experiments.paper_values import FIG7_SPEEDUPS
+from repro.models import PAPER_MODELS
+from repro.strategies import ALL_STRATEGIES
+from repro.utils.tables import Table
+
+STRATEGIES = ["BytePS", "Horovod-AllReduce", "Horovod-AllGather", "Parallax", "EmbRace"]
+WORLD_SIZES = (4, 8, 16)
+GPUS = ("rtx3090", "rtx2080")
+
+
+def run() -> ExperimentResult:
+    tables = []
+    findings = []
+    data: dict = {}
+    wins = total = 0
+    for gpu in GPUS:
+        for name, cfg in PAPER_MODELS.items():
+            table = Table(
+                ["Method"] + [f"{w} GPUs" for w in WORLD_SIZES],
+                title=f"Fig. 7 — {name} on {gpu.upper()} (tokens/s)",
+            )
+            cell: dict = {}
+            for strat in STRATEGIES:
+                row = [strat]
+                for w in WORLD_SIZES:
+                    r = simulate_training(cfg, gpu, w, ALL_STRATEGIES[strat]())
+                    cell.setdefault(strat, {})[w] = r.tokens_per_sec
+                    row.append(f"{r.tokens_per_sec:,.0f}")
+                table.add_row(row)
+            speedups = {}
+            for w in WORLD_SIZES:
+                best = max(cell[s][w] for s in STRATEGIES if s != "EmbRace")
+                speedups[w] = cell["EmbRace"][w] / best
+                total += 1
+                wins += cell["EmbRace"][w] >= best
+            lo, hi = min(speedups.values()), max(speedups.values())
+            p_lo, p_hi = FIG7_SPEEDUPS[(gpu, name)]
+            findings.append(
+                f"{name}/{gpu}: EmbRace {lo:.2f}x-{hi:.2f}x over best baseline "
+                f"(paper {p_lo:.2f}x-{p_hi:.2f}x)."
+            )
+            data[(gpu, name)] = {"throughput": cell, "speedups": speedups}
+            tables.append(table.render())
+    findings.insert(
+        0,
+        f"EmbRace is at least as fast as every baseline in {wins}/{total} "
+        "cells (paper: fastest everywhere).",
+    )
+    return ExperimentResult(
+        exp_id="Fig 7",
+        title="End-to-end training performance (tokens/s)",
+        tables=tables,
+        findings=findings,
+        data=data,
+    )

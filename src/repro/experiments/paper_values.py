@@ -1,0 +1,69 @@
+"""The paper's reported numbers, transcribed for comparison.
+
+All values from Li et al., *EmbRace*, ICPP 2022 — tables transcribed
+verbatim, figure values from the ranges stated in the text/captions.
+"""
+
+#: Table 1: (model size MB, embedding size MB, embedding ratio).
+TABLE1 = {
+    "LM": (3186.5, 3099.5, 0.9727),
+    "GNMT-8": (739.1, 252.5, 0.3416),
+    "Transformer": (1067.5, 263.4, 0.2467),
+    "BERT-base": (417.7, 89.4, 0.2142),
+}
+
+#: Table 3: (original, coalesced, prioritized) average sparse embedding
+#: gradient sizes in MB (batch sizes 128 / 128 / 5120 / 32).
+TABLE3 = {
+    "LM": (8.7, 6.9, 2.6),
+    "GNMT-8": (26.0, 12.2, 5.8),
+    "Transformer": (35.2, 16.6, 8.9),
+    "BERT-base": (36.0, 5.5, 3.2),
+}
+
+#: §4.1.2: average embedding-gradient sparsity per model at the paper's
+#: batch sizes.
+MODEL_SPARSITY = {
+    "LM": 0.997,
+    "GNMT-8": 0.897,
+    "Transformer": 0.866,
+    "BERT-base": 0.597,
+}
+
+#: Fig. 7 captions: EmbRace speedup range over the best baseline,
+#: (low, high) across 4/8/16 GPUs.
+FIG7_SPEEDUPS = {
+    ("rtx3090", "LM"): (1.18, 1.77),
+    ("rtx3090", "GNMT-8"): (1.10, 1.27),
+    ("rtx3090", "Transformer"): (1.12, 1.18),
+    ("rtx3090", "BERT-base"): (1.02, 1.06),
+    ("rtx2080", "LM"): (1.99, 2.41),
+    ("rtx2080", "GNMT-8"): (1.09, 1.30),
+    ("rtx2080", "Transformer"): (1.11, 1.28),
+    ("rtx2080", "BERT-base"): (1.10, 1.40),
+}
+
+#: Fig. 8 captions: Computation Stall of baselines normalized by
+#: EmbRace at 16 GPUs, (low, high) across models/baselines.
+FIG8_STALL_RANGE = {
+    "rtx3090": (1.45, 2.56),
+    "rtx2080": (1.37, 3.02),
+}
+
+#: §5.5 (Fig. 9): ablation gains.
+FIG9_GAINS = {
+    # (hybrid-comm gain range, 2D-scheduling gain range) in percent.
+    16: ((2.9, 51.0), (3.0, 26.0)),
+    4: ((1.5, 14.6), (0.7, 7.5)),
+}
+
+#: §5.6 (Fig. 10): throughput scaling 4 -> 16 GPUs on RTX3090.
+FIG10_SCALING = {
+    "GNMT-8": {"EmbRace": 3.42, "baseline": 3.32, "baseline_name": "Horovod-AllReduce"},
+    "Transformer": {"EmbRace": 2.53, "baseline": 2.51, "baseline_name": "Horovod-AllReduce"},
+    "BERT-base": {"EmbRace": 3.94, "baseline": 3.81, "baseline_name": "Horovod-AllReduce"},
+    "LM": {"EmbRace": 3.14, "baseline": 3.06, "baseline_name": "Parallax"},
+}
+
+#: §5.7 (Fig. 11): converged quality on 8 RTX3090 GPUs.
+FIG11 = {"LM_ppl": 41.5, "GNMT8_bleu": 24.0}

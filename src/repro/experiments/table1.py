@@ -1,0 +1,45 @@
+"""Table 1: model size and embedding size in popular NLP models."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.paper_values import TABLE1
+from repro.models import PAPER_MODELS, model_size_mb
+from repro.utils.tables import Table
+
+
+def run() -> ExperimentResult:
+    table = Table(
+        ["Model", "Size MB (paper)", "Embedding MB (paper)", "Ratio (paper)"],
+        title="Table 1 — model and embedding sizes",
+    )
+    data = {}
+    worst_err = 0.0
+    for name, cfg in PAPER_MODELS.items():
+        total, emb, ratio = model_size_mb(cfg)
+        p_total, p_emb, p_ratio = TABLE1[name]
+        worst_err = max(
+            worst_err, abs(total / p_total - 1), abs(emb / p_emb - 1)
+        )
+        table.add_row(
+            [
+                name,
+                f"{total:.1f} ({p_total})",
+                f"{emb:.1f} ({p_emb})",
+                f"{ratio * 100:.2f}% ({p_ratio * 100:.2f}%)",
+            ]
+        )
+        data[name] = {"total_mb": total, "embedding_mb": emb, "ratio": ratio}
+    ratios = [model_size_mb(PAPER_MODELS[n])[2] for n in TABLE1]
+    ordering_ok = ratios == sorted(ratios, reverse=True)
+    return ExperimentResult(
+        exp_id="Table 1",
+        title="Model size and embedding size (MB) in popular NLP models",
+        tables=[table.render()],
+        findings=[
+            f"All sizes within {worst_err * 100:.1f}% of the paper's values.",
+            "Embedding-ratio ordering LM > GNMT-8 > Transformer > BERT-base "
+            f"reproduced: {ordering_ok}.",
+        ],
+        data=data,
+    )

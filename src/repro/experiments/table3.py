@@ -1,0 +1,62 @@
+"""Table 3: average sparse embedding gradient sizes under Vertical
+Sparse Scheduling (original / coalesced / prioritized)."""
+
+from __future__ import annotations
+
+from repro.engine.workload import measure_workload
+from repro.experiments.base import ExperimentResult
+from repro.experiments.paper_values import TABLE3
+from repro.models import PAPER_MODELS
+from repro.utils.tables import Table
+from repro.utils.units import bytes_to_mb
+
+
+def run(world_size: int = 1, n_steps: int = 8) -> ExperimentResult:
+    table = Table(
+        ["Model", "Original MB (paper)", "Coalesced MB (paper)", "Prior MB (paper)"],
+        title=(
+            "Table 3 — average sparse embedding gradient size (MB); "
+            "batch sizes 128/128/5120/32"
+        ),
+    )
+    data = {}
+    monotone = True
+    for name, cfg in PAPER_MODELS.items():
+        stats = measure_workload(cfg, "rtx3090", world_size=world_size, n_steps=n_steps)
+        orig = bytes_to_mb(sum(t.original_bytes for t in stats.tables.values()))
+        coal = bytes_to_mb(sum(t.coalesced_bytes for t in stats.tables.values()))
+        prior = bytes_to_mb(sum(t.prior_bytes for t in stats.tables.values()))
+        p_orig, p_coal, p_prior = TABLE3[name]
+        monotone &= orig > coal > prior > 0
+        table.add_row(
+            [
+                name,
+                f"{orig:.1f} ({p_orig})",
+                f"{coal:.1f} ({p_coal})",
+                f"{prior:.1f} ({p_prior})",
+            ]
+        )
+        data[name] = {
+            "original_mb": orig,
+            "coalesced_mb": coal,
+            "prior_mb": prior,
+            "coalesce_reduction": 1 - coal / orig,
+            "prior_reduction": 1 - prior / coal,
+        }
+    return ExperimentResult(
+        exp_id="Table 3",
+        title="Sparse gradient sizes in Vertical Sparse Scheduling",
+        tables=[table.render()],
+        findings=[
+            "Both reductions (coalescing, prioritization) are strictly "
+            f"monotone for every model: {monotone}.",
+            "BERT-base shows the largest coalescing reduction (small "
+            "vocabulary, long sequences) — measured "
+            f"{data['BERT-base']['coalesce_reduction'] * 100:.0f}% vs the "
+            "paper's 84.7%.",
+            "LM shows the smallest coalescing reduction (huge vocabulary) — "
+            f"measured {data['LM']['coalesce_reduction'] * 100:.0f}% vs the "
+            "paper's 20.4%.",
+        ],
+        data=data,
+    )

@@ -1,0 +1,51 @@
+"""The paper's four benchmark NLP models (Table 1).
+
+Each model exists in two coupled forms:
+
+* a **structural description** (:class:`ModelConfig` + ``block_specs()``)
+  at *paper scale*, used by the sizing tables, the performance model and
+  the step simulator — no arrays are ever allocated at this scale;
+* a **runnable implementation** (``build_model(config.tiny())``) used by
+  the real multi-process trainer and the convergence experiments.
+
+The decomposition into embedding / dense blocks is exactly the unit of
+the paper's Block-level Horizontal Scheduling (Fig. 5).
+"""
+
+from repro.models.config import (
+    BERT_BASE,
+    GNMT8,
+    LM,
+    PAPER_MODELS,
+    TRANSFORMER,
+    EmbeddingTableConfig,
+    ModelConfig,
+)
+from repro.models.blocks import BlockSpec, LayerDesc, block_specs
+from repro.models.sizing import model_size_mb, sizing_table
+from repro.models.registry import build_model, get_config
+from repro.models.lm import LMModel
+from repro.models.gnmt import GNMTModel
+from repro.models.transformer_mt import TransformerMTModel
+from repro.models.bert import BertModel
+
+__all__ = [
+    "ModelConfig",
+    "EmbeddingTableConfig",
+    "LM",
+    "GNMT8",
+    "TRANSFORMER",
+    "BERT_BASE",
+    "PAPER_MODELS",
+    "BlockSpec",
+    "LayerDesc",
+    "block_specs",
+    "model_size_mb",
+    "sizing_table",
+    "build_model",
+    "get_config",
+    "LMModel",
+    "GNMTModel",
+    "TransformerMTModel",
+    "BertModel",
+]

@@ -1,0 +1,277 @@
+"""Block decomposition of each model family.
+
+Block-level Horizontal Scheduling (§4.2.1) treats a model as an ordered
+list of *blocks* — embedding tables and groups of dense layers with
+similar cost ("there are 12 self-attention blocks in BERT-base encoder,
+each holds a similar number of parameters and takes a comparable
+calculation time").  This module produces that decomposition from a
+:class:`~repro.models.config.ModelConfig`, including:
+
+* per-block parameter counts (communication payload),
+* per-block layer descriptors (compute cost, via :mod:`repro.perf`),
+* forward-pass dependencies (the DAG of the paper's Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.models.config import ModelConfig
+from repro.utils.validation import check_in
+
+EMBEDDING = "embedding"
+DENSE = "dense"
+
+
+@dataclass(frozen=True)
+class LayerDesc:
+    """One layer inside a block, in units the perf model understands.
+
+    ``kind`` is one of ``lstm`` (dims = input, hidden), ``transformer``
+    (dims = dim, ffn_dim), ``linear`` (dims = in, out), ``embedding``
+    (dims = vocab, dim).  ``side`` selects which sequence length applies
+    ('src' or 'tgt'); ``cross`` marks decoder blocks with cross-attention.
+    """
+
+    kind: str
+    dims: tuple[int, ...]
+    side: str = "src"
+    cross: bool = False
+
+    def __post_init__(self) -> None:
+        check_in(
+            "kind",
+            self.kind,
+            {"lstm", "transformer", "linear", "embedding", "attention_additive"},
+        )
+        check_in("side", self.side, {"src", "tgt"})
+
+    @property
+    def param_count(self) -> int:
+        if self.kind == "lstm":
+            inp, hid = self.dims
+            return (inp + hid) * 4 * hid + 4 * hid
+        if self.kind == "transformer":
+            dim, ffn = self.dims
+            params = 4 * dim * dim + 4 * dim  # QKVO projections
+            params += 2 * dim * ffn + ffn + dim  # FFN
+            params += 4 * dim  # two layernorms
+            if self.cross:
+                params += 4 * dim * dim + 4 * dim + 2 * dim
+            return params
+        if self.kind == "linear":
+            inp, out = self.dims
+            return inp * out + out
+        if self.kind == "attention_additive":
+            dec_dim, enc_dim, attn_dim = self.dims
+            return dec_dim * attn_dim + enc_dim * attn_dim + attn_dim
+        vocab, dim = self.dims  # embedding
+        return vocab * dim
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """A schedulable unit: a named group of layers with FP dependencies."""
+
+    name: str
+    kind: str  # EMBEDDING or DENSE
+    layers: tuple[LayerDesc, ...]
+    fp_deps: tuple[str, ...] = ()
+    table: str | None = None  # embedding table name for EMBEDDING blocks
+
+    def __post_init__(self) -> None:
+        check_in("kind", self.kind, {EMBEDDING, DENSE})
+        if self.kind == EMBEDDING and self.table is None:
+            raise ValueError(f"{self.name}: embedding block needs a table name")
+
+    @property
+    def param_count(self) -> int:
+        return sum(layer.param_count for layer in self.layers)
+
+    @property
+    def param_nbytes(self) -> int:
+        return self.param_count * 4
+
+
+def _lm_blocks(cfg: ModelConfig) -> list[BlockSpec]:
+    emb = cfg.table("embedding")
+    out = cfg.table("softmax_embedding")
+    blocks = [
+        BlockSpec(
+            "embedding",
+            EMBEDDING,
+            (LayerDesc("embedding", (emb.vocab_size, emb.dim), side="tgt"),),
+            table="embedding",
+        )
+    ]
+    prev = "embedding"
+    for i in range(cfg.num_encoder_layers):
+        in_dim = emb.dim if i == 0 else cfg.hidden_dim
+        blocks.append(
+            BlockSpec(
+                f"lstm.{i}",
+                DENSE,
+                (LayerDesc("lstm", (in_dim, cfg.hidden_dim), side="tgt"),),
+                fp_deps=(prev,),
+            )
+        )
+        prev = f"lstm.{i}"
+    blocks.append(
+        BlockSpec(
+            "projection",
+            DENSE,
+            (LayerDesc("linear", (cfg.hidden_dim, out.dim), side="tgt"),),
+            fp_deps=(prev,),
+        )
+    )
+    blocks.append(
+        BlockSpec(
+            "softmax_embedding",
+            EMBEDDING,
+            (LayerDesc("embedding", (out.vocab_size, out.dim), side="tgt"),),
+            fp_deps=("projection",),
+            table="softmax_embedding",
+        )
+    )
+    return blocks
+
+
+def _seq2seq_blocks(cfg: ModelConfig, layer_kind: str) -> list[BlockSpec]:
+    enc_emb = cfg.table("encoder_embedding")
+    dec_emb = cfg.table("decoder_embedding")
+    blocks = [
+        BlockSpec(
+            "encoder_embedding",
+            EMBEDDING,
+            (LayerDesc("embedding", (enc_emb.vocab_size, enc_emb.dim), side="src"),),
+            table="encoder_embedding",
+        ),
+        BlockSpec(
+            "decoder_embedding",
+            EMBEDDING,
+            (LayerDesc("embedding", (dec_emb.vocab_size, dec_emb.dim), side="tgt"),),
+            table="decoder_embedding",
+        ),
+    ]
+
+    def dense_layer(i: int, side: str) -> LayerDesc:
+        if layer_kind == "lstm":
+            if side == "src":
+                base = enc_emb.dim
+            else:
+                # GNMT decoder layer 0 consumes [embedding ; context].
+                base = dec_emb.dim + cfg.hidden_dim
+            in_dim = base if i == 0 else cfg.hidden_dim
+            return LayerDesc("lstm", (in_dim, cfg.hidden_dim), side=side)
+        return LayerDesc(
+            "transformer",
+            (cfg.hidden_dim, cfg.ffn_dim),
+            side=side,
+            cross=(side == "tgt"),
+        )
+
+    prev = "encoder_embedding"
+    for i in range(cfg.num_encoder_layers):
+        blocks.append(
+            BlockSpec(f"encoder.{i}", DENSE, (dense_layer(i, "src"),), fp_deps=(prev,))
+        )
+        prev = f"encoder.{i}"
+    last_enc = prev
+
+    if layer_kind == "lstm":
+        # GNMT's additive attention bridges encoder top and decoder input.
+        blocks.append(
+            BlockSpec(
+                "attention",
+                DENSE,
+                (
+                    LayerDesc(
+                        "attention_additive",
+                        (dec_emb.dim, cfg.hidden_dim, cfg.hidden_dim),
+                        side="tgt",
+                    ),
+                ),
+                fp_deps=("decoder_embedding", last_enc),
+            )
+        )
+        prev_deps: tuple[str, ...] = ("attention",)
+    else:
+        prev_deps = ("decoder_embedding", last_enc)
+    for i in range(cfg.num_decoder_layers):
+        blocks.append(
+            BlockSpec(f"decoder.{i}", DENSE, (dense_layer(i, "tgt"),), fp_deps=prev_deps)
+        )
+        prev_deps = (f"decoder.{i}",)
+    blocks.append(
+        BlockSpec(
+            "output_projection",
+            DENSE,
+            (LayerDesc("linear", (cfg.hidden_dim, dec_emb.vocab_size), side="tgt"),),
+            fp_deps=prev_deps,
+        )
+    )
+    return blocks
+
+
+def _bert_blocks(cfg: ModelConfig) -> list[BlockSpec]:
+    emb = cfg.table("embedding")
+    blocks = [
+        BlockSpec(
+            "embedding",
+            EMBEDDING,
+            (LayerDesc("embedding", (emb.vocab_size, emb.dim), side="src"),),
+            table="embedding",
+        ),
+        # Position + token-type embeddings are dense (every position is
+        # touched every step), grouped with the embedding layernorm.
+        BlockSpec(
+            "embedding_postproc",
+            DENSE,
+            (
+                LayerDesc("linear", (cfg.src_seq_len, emb.dim), side="src"),
+                LayerDesc("linear", (2, emb.dim), side="src"),
+            ),
+            fp_deps=("embedding",),
+        ),
+    ]
+    prev = "embedding_postproc"
+    for i in range(cfg.num_encoder_layers):
+        blocks.append(
+            BlockSpec(
+                f"encoder.{i}",
+                DENSE,
+                (LayerDesc("transformer", (cfg.hidden_dim, cfg.ffn_dim), side="src"),),
+                fp_deps=(prev,),
+            )
+        )
+        prev = f"encoder.{i}"
+    blocks.append(
+        BlockSpec(
+            "qa_head",
+            DENSE,
+            (LayerDesc("linear", (cfg.hidden_dim, 2), side="src"),),
+            fp_deps=(prev,),
+        )
+    )
+    return blocks
+
+
+def block_specs(cfg: ModelConfig) -> list[BlockSpec]:
+    """The model's schedulable blocks in forward-pass order."""
+    if cfg.family == "lm":
+        blocks = _lm_blocks(cfg)
+    elif cfg.family == "gnmt":
+        blocks = _seq2seq_blocks(cfg, "lstm")
+    elif cfg.family == "transformer":
+        blocks = _seq2seq_blocks(cfg, "transformer")
+    else:
+        blocks = _bert_blocks(cfg)
+    names = [b.name for b in blocks]
+    if len(set(names)) != len(names):
+        raise AssertionError(f"duplicate block names in {cfg.name}: {names}")
+    known = set(names)
+    for b in blocks:
+        missing = set(b.fp_deps) - known
+        if missing:
+            raise AssertionError(f"{b.name}: unknown fp_deps {missing}")
+    return blocks

@@ -1,0 +1,38 @@
+"""Model registry: config lookup and runnable-model construction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import BaseNLPModel
+from repro.models.bert import BertModel
+from repro.models.config import PAPER_MODELS, ModelConfig
+from repro.models.gnmt import GNMTModel
+from repro.models.lm import LMModel
+from repro.models.transformer_mt import TransformerMTModel
+
+_FAMILIES = {
+    "lm": LMModel,
+    "gnmt": GNMTModel,
+    "transformer": TransformerMTModel,
+    "bert": BertModel,
+}
+
+
+def get_config(name: str) -> ModelConfig:
+    """Paper-scale config by Table 1 name (``'LM'``, ``'GNMT-8'``, ...)."""
+    try:
+        return PAPER_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(PAPER_MODELS)}"
+        ) from None
+
+
+def build_model(
+    config: ModelConfig, rng: np.random.Generator | None = None, **kwargs
+) -> BaseNLPModel:
+    """Instantiate the runnable model for ``config`` (use ``config.tiny()``
+    for real-execution scales)."""
+    cls = _FAMILIES[config.family]
+    return cls(config, rng=rng, **kwargs)

@@ -1,0 +1,33 @@
+"""Model/embedding sizing — reproduces the paper's Table 1."""
+
+from __future__ import annotations
+
+from repro.models.blocks import EMBEDDING, block_specs
+from repro.models.config import PAPER_MODELS, ModelConfig
+from repro.utils.tables import Table
+from repro.utils.units import bytes_to_mb
+
+
+def model_size_mb(cfg: ModelConfig) -> tuple[float, float, float]:
+    """Return ``(total_mb, embedding_mb, embedding_ratio)`` for a config.
+
+    Sizes are float32 bytes over the block decomposition, in decimal MB
+    exactly as Table 1 reports them.
+    """
+    blocks = block_specs(cfg)
+    total = sum(b.param_nbytes for b in blocks)
+    emb = sum(b.param_nbytes for b in blocks if b.kind == EMBEDDING)
+    return bytes_to_mb(total), bytes_to_mb(emb), emb / total
+
+
+def sizing_table(configs: dict[str, ModelConfig] | None = None) -> Table:
+    """Render Table 1: model size, embedding size (MB) and embedding ratio."""
+    configs = configs or PAPER_MODELS
+    table = Table(
+        ["Models", "Model Size (MB)", "Embedding Size (MB)", "Ratio"],
+        title="Table 1: model size and embedding size in popular NLP models",
+    )
+    for name, cfg in configs.items():
+        total, emb, ratio = model_size_mb(cfg)
+        table.add_row([name, round(total, 1), round(emb, 1), f"{ratio * 100:.2f}%"])
+    return table

@@ -1,0 +1,24 @@
+"""Weight initializers (explicit RNG, reproducible across ranks)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def uniform(rng: np.random.Generator, shape: tuple[int, ...], scale: float = 0.1) -> np.ndarray:
+    """U(-scale, scale)."""
+    return rng.uniform(-scale, scale, size=shape)
+
+
+def normal(rng: np.random.Generator, shape: tuple[int, ...], std: float = 0.02) -> np.ndarray:
+    """N(0, std^2) — BERT-style init."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+    """Glorot uniform for 2-D weights ``(fan_in, fan_out)``."""
+    if len(shape) != 2:
+        raise ValueError(f"xavier_uniform requires 2-D shape, got {shape}")
+    fan_in, fan_out = shape
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)

@@ -1,0 +1,37 @@
+"""Adagrad (Duchi et al., 2011) — fully element-wise, split-update safe."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+from repro.optim.base import Optimizer
+from repro.tensors import SparseRows
+
+
+class Adagrad(Optimizer):
+    """Per-element accumulated squared gradients.
+
+    Because both the accumulator and the update touch only the elements a
+    gradient covers, applying disjoint sparse parts sequentially is exactly
+    equivalent to applying their sum — the property EmbRace relies on for
+    sparse optimizers (§5.7).
+    """
+
+    def __init__(self, params: list[Parameter], lr: float = 0.01, eps: float = 1e-10):
+        super().__init__(params, lr)
+        self.eps = eps
+
+    def _init_state(self, param: Parameter) -> dict:
+        return {"sum_sq": np.zeros_like(param.data)}
+
+    def _update_dense(self, param: Parameter, grad: np.ndarray) -> None:
+        st = self.state_for(param)
+        st["sum_sq"] += grad**2
+        param.data -= self.lr * grad / (np.sqrt(st["sum_sq"]) + self.eps)
+
+    def _update_sparse(self, param: Parameter, grad: SparseRows) -> None:
+        st = self.state_for(param)
+        rows, vals = grad.indices, grad.values
+        st["sum_sq"][rows] += vals**2
+        param.data[rows] -= self.lr * vals / (np.sqrt(st["sum_sq"][rows]) + self.eps)

@@ -1,0 +1,59 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from repro.nn.parameter import Parameter
+from repro.tensors import SparseRows
+from repro.utils.validation import check_positive
+
+
+class Optimizer:
+    """Holds parameters and per-parameter state; applies gradients.
+
+    Subclasses implement ``_update_dense(param, grad)`` and
+    ``_update_sparse(param, grad)`` (``grad`` coalesced).  ``step()``
+    applies whatever gradients are currently accumulated and leaves them
+    in place (call ``zero_grad`` between iterations, as in PyTorch).
+    """
+
+    def __init__(self, params: list[Parameter], lr: float):
+        if not params:
+            raise ValueError("optimizer needs at least one parameter")
+        check_positive("lr", lr)
+        self.params = list(params)
+        self.lr = lr
+        self.state: dict[int, dict] = {}
+
+    def state_for(self, param: Parameter) -> dict:
+        key = id(param)
+        if key not in self.state:
+            self.state[key] = self._init_state(param)
+        return self.state[key]
+
+    def _init_state(self, param: Parameter) -> dict:
+        return {}
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply every accumulated gradient once."""
+        for p in self.params:
+            if p.grad is None:
+                continue
+            if p.sparse_grad:
+                grad = p.grad
+                if not isinstance(grad, SparseRows):
+                    raise TypeError(
+                        f"{p.name}: sparse parameter has {type(grad).__name__} grad"
+                    )
+                self._update_sparse(p, grad.coalesce())
+            else:
+                self._update_dense(p, p.grad)
+
+    def _update_dense(self, param: Parameter, grad) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _update_sparse(self, param: Parameter, grad: SparseRows) -> None:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,47 @@
+"""Gradient clipping, aware of row-sparse gradients."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+from repro.tensors import SparseRows
+from repro.utils.validation import check_positive
+
+
+def global_grad_norm(params: list[Parameter]) -> float:
+    """L2 norm over every accumulated gradient (dense and sparse)."""
+    total = 0.0
+    for p in params:
+        if p.grad is None:
+            continue
+        if isinstance(p.grad, SparseRows):
+            total += float((p.grad.coalesce().values ** 2).sum())
+        else:
+            total += float((np.asarray(p.grad) ** 2).sum())
+    return math.sqrt(total)
+
+
+def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
+    """Scale all gradients so the global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (PyTorch convention).  Sparse gradients
+    are scaled in place on their value rows; element-wise scaling keeps
+    the EmbRace split-update equivalence intact (both parts see the same
+    factor when clipping happens before the split).
+    """
+    check_positive("max_norm", max_norm)
+    norm = global_grad_norm(params)
+    if norm <= max_norm or norm == 0.0:
+        return norm
+    scale = max_norm / norm
+    for p in params:
+        if p.grad is None:
+            continue
+        if isinstance(p.grad, SparseRows):
+            p.grad = p.grad.scale(scale)
+        else:
+            p.grad = p.grad * scale
+    return norm

@@ -1,0 +1,49 @@
+"""The paper's modified Adam for two-part (prior/delayed) sparse updates.
+
+§5.7: *"Most parts of Adam are element-wise except the state parameter
+step ... Therefore, we modify the Adam optimizer in PyTorch, updating the
+step state only at applying the delayed sparse gradients to embedding
+parameters. This modification ensures synchronous training and the rate
+of convergence."*
+
+:meth:`EmbraceAdam.apply_sparse_part` applies one part of a split sparse
+gradient.  Both parts are bias-corrected with the *same* step value
+(``step + 1``); the counter is committed only when ``final=True``.  With
+disjoint row sets (guaranteed by Algorithm 1's intersection/difference
+split of a coalesced gradient), the two-part application is bit-identical
+to a single fused update — property-tested in ``tests/test_optim.py``.
+"""
+
+from __future__ import annotations
+
+from repro.nn.parameter import Parameter
+from repro.optim.adam import Adam
+from repro.tensors import SparseRows
+
+
+class EmbraceAdam(Adam):
+    """Adam whose sparse ``step`` state advances once per iteration,
+    regardless of how many gradient parts the iteration applies."""
+
+    def apply_sparse_part(
+        self, param: Parameter, grad: SparseRows, final: bool
+    ) -> None:
+        """Apply one part of this iteration's sparse gradient.
+
+        Parameters
+        ----------
+        param:
+            A sparse-gradient parameter registered with this optimizer.
+        grad:
+            One part of the split gradient.  Parts within an iteration
+            must cover disjoint row sets (Algorithm 1 guarantees this).
+        final:
+            ``True`` for the last part (the delayed gradients) — commits
+            the step counter.
+        """
+        if not param.sparse_grad:
+            raise ValueError(f"{param.name}: apply_sparse_part requires a sparse parameter")
+        st = self.state_for(param)
+        self._apply_sparse_rows(param, grad.coalesce(), st["step"] + 1)
+        if final:
+            st["step"] += 1

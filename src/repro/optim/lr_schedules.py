@@ -1,0 +1,98 @@
+"""Learning-rate schedules used by the benchmark models' recipes.
+
+The paper trains with the models' standard recipes (GNMT/Transformer use
+warmup + decay).  Schedules mutate ``optimizer.lr`` in place via
+``step()`` — call once per training iteration.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.base import Optimizer
+from repro.utils.validation import check_positive
+
+
+class LRSchedule:
+    """Base schedule: subclasses implement ``lr_at(step)``."""
+
+    def __init__(self, optimizer: Optimizer, base_lr: float | None = None):
+        self.optimizer = optimizer
+        self.base_lr = base_lr if base_lr is not None else optimizer.lr
+        check_positive("base_lr", self.base_lr)
+        self.step_count = 0
+
+    def lr_at(self, step: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one iteration; returns (and applies) the new LR."""
+        self.step_count += 1
+        lr = self.lr_at(self.step_count)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(LRSchedule):
+    """No decay (the LM recipe at tiny scale)."""
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr
+
+
+class WarmupInverseSqrt(LRSchedule):
+    """The Transformer recipe (Vaswani et al. eq. 3).
+
+    ``lr = base * min(step^-0.5, step * warmup^-1.5) * warmup^0.5`` —
+    linear warmup to ``base`` at ``warmup_steps``, then inverse-sqrt decay.
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int = 4000,
+                 base_lr: float | None = None):
+        super().__init__(optimizer, base_lr)
+        check_positive("warmup_steps", warmup_steps)
+        self.warmup_steps = int(warmup_steps)
+
+    def lr_at(self, step: int) -> float:
+        scale = min(step**-0.5, step * self.warmup_steps**-1.5)
+        return self.base_lr * scale * self.warmup_steps**0.5
+
+
+class ExponentialDecay(LRSchedule):
+    """GNMT-style stepwise exponential decay after a flat phase."""
+
+    def __init__(self, optimizer: Optimizer, decay_rate: float = 0.5,
+                 decay_every: int = 1000, flat_steps: int = 0,
+                 base_lr: float | None = None):
+        super().__init__(optimizer, base_lr)
+        if not 0 < decay_rate <= 1:
+            raise ValueError(f"decay_rate must be in (0, 1], got {decay_rate}")
+        check_positive("decay_every", decay_every)
+        self.decay_rate = decay_rate
+        self.decay_every = int(decay_every)
+        self.flat_steps = int(flat_steps)
+
+    def lr_at(self, step: int) -> float:
+        if step <= self.flat_steps:
+            return self.base_lr
+        decays = (step - self.flat_steps) // self.decay_every
+        return self.base_lr * self.decay_rate**decays
+
+
+class CosineDecay(LRSchedule):
+    """Cosine annealing to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int,
+                 min_lr: float = 0.0, base_lr: float | None = None):
+        super().__init__(optimizer, base_lr)
+        check_positive("total_steps", total_steps)
+        if min_lr < 0:
+            raise ValueError(f"min_lr must be >= 0, got {min_lr}")
+        self.total_steps = int(total_steps)
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        progress = min(1.0, step / self.total_steps)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1 + math.cos(math.pi * progress)
+        )

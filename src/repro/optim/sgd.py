@@ -1,0 +1,40 @@
+"""Stochastic gradient descent (optionally with momentum on dense params)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+from repro.optim.base import Optimizer
+from repro.tensors import SparseRows
+from repro.utils.validation import check_non_negative
+
+
+class SGD(Optimizer):
+    """Plain SGD; momentum applies to dense parameters only.
+
+    The sparse path is momentum-free and purely element-wise, hence
+    split-update safe (paper §5.7: "the common sparse optimizer such as
+    Adagrad and SGD is fully element-wise").
+    """
+
+    def __init__(self, params: list[Parameter], lr: float = 0.01, momentum: float = 0.0):
+        super().__init__(params, lr)
+        check_non_negative("momentum", momentum)
+        self.momentum = momentum
+
+    def _init_state(self, param: Parameter) -> dict:
+        if self.momentum and not param.sparse_grad:
+            return {"velocity": np.zeros_like(param.data)}
+        return {}
+
+    def _update_dense(self, param: Parameter, grad: np.ndarray) -> None:
+        if self.momentum:
+            st = self.state_for(param)
+            st["velocity"] = self.momentum * st["velocity"] + grad
+            param.data -= self.lr * st["velocity"]
+        else:
+            param.data -= self.lr * grad
+
+    def _update_sparse(self, param: Parameter, grad: SparseRows) -> None:
+        grad.add_to(param.data, scale=-self.lr)

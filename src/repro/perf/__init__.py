@@ -1,0 +1,29 @@
+"""Performance model: FLOP counts and compute/communication time estimates.
+
+This package replaces the paper's physical GPUs.  ``flops`` provides
+per-layer arithmetic counts; ``estimator`` converts a model's block
+decomposition plus a :class:`~repro.cluster.GPUSpec` into forward/backward
+durations; ``comm_time`` converts payload sizes plus a cluster topology
+into collective durations via :mod:`repro.collectives`.
+"""
+
+from repro.perf.flops import (
+    attention_flops,
+    embedding_lookup_bytes,
+    ffn_flops,
+    linear_flops,
+    lstm_layer_flops,
+    transformer_layer_flops,
+)
+from repro.perf.estimator import BlockTime, ComputeEstimator
+
+__all__ = [
+    "attention_flops",
+    "embedding_lookup_bytes",
+    "ffn_flops",
+    "linear_flops",
+    "lstm_layer_flops",
+    "transformer_layer_flops",
+    "BlockTime",
+    "ComputeEstimator",
+]

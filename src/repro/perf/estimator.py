@@ -1,0 +1,107 @@
+"""Compute-time estimation for model blocks on a GPU profile.
+
+Forward time of a dense block is its FLOPs over the GPU's sustained
+training throughput plus a kernel-launch overhead; backward is 2x
+forward (dL/dx and dL/dW each roughly re-do the forward GEMMs).
+Embedding blocks are memory-bound gathers/scatters, costed by bytes
+moved over memory bandwidth — on the device holding the table, which
+for the LM on the RTX2080 cluster is the *host* (§5.3: "for RTX2080 GPU
+we have to put embedding tables on the CPU").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.hardware import GPUSpec
+from repro.models.blocks import EMBEDDING, BlockSpec, LayerDesc
+from repro.perf import flops as F
+from repro.utils.validation import check_positive
+
+#: Backward FLOPs as a multiple of forward FLOPs.
+BP_FP_RATIO = 2.0
+
+
+@dataclass(frozen=True)
+class BlockTime:
+    """Forward/backward durations (seconds) of one block."""
+
+    name: str
+    fp: float
+    bp: float
+
+
+class ComputeEstimator:
+    """Maps (block decomposition, workload shape) -> per-block durations."""
+
+    def __init__(
+        self,
+        gpu: GPUSpec,
+        batch_size: int,
+        src_seq_len: int,
+        tgt_seq_len: int,
+        embedding_device: GPUSpec | None = None,
+    ):
+        check_positive("batch_size", batch_size)
+        check_positive("src_seq_len", src_seq_len)
+        check_positive("tgt_seq_len", tgt_seq_len)
+        self.gpu = gpu
+        self.batch = int(batch_size)
+        self.src_seq = int(src_seq_len)
+        self.tgt_seq = int(tgt_seq_len)
+        self.embedding_device = embedding_device or gpu
+
+    # ------------------------------------------------------------------ #
+    def _tokens(self, side: str) -> int:
+        return self.batch * (self.src_seq if side == "src" else self.tgt_seq)
+
+    def layer_flops(self, layer: LayerDesc) -> float:
+        """Forward FLOPs of one layer descriptor at this workload shape."""
+        tokens = self._tokens(layer.side)
+        seq = self.src_seq if layer.side == "src" else self.tgt_seq
+        if layer.kind == "lstm":
+            return F.lstm_layer_flops(tokens, *layer.dims)
+        if layer.kind == "transformer":
+            return F.transformer_layer_flops(
+                self.batch,
+                seq,
+                *layer.dims,
+                cross_attention=layer.cross,
+                memory_seq=self.src_seq,
+            )
+        if layer.kind == "linear":
+            return F.linear_flops(tokens, *layer.dims)
+        if layer.kind == "attention_additive":
+            dec_dim, enc_dim, attn_dim = layer.dims
+            src_tokens = self._tokens("src")
+            proj = F.linear_flops(tokens, dec_dim, attn_dim) + F.linear_flops(
+                src_tokens, enc_dim, attn_dim
+            )
+            # Additive scores: (batch, tq, ts, a) tanh+dot.
+            mix = 4.0 * self.batch * self.tgt_seq * self.src_seq * attn_dim
+            return proj + mix
+        # Embedding lookups are memory-bound; FLOPs ~ 0.
+        return 0.0
+
+    def block_time(self, block: BlockSpec) -> BlockTime:
+        """FP/BP durations of a block."""
+        if block.kind == EMBEDDING:
+            vocab, dim = block.layers[0].dims
+            tokens = self._tokens(block.layers[0].side)
+            lookup_bytes = F.embedding_lookup_bytes(tokens, dim)
+            dev = self.embedding_device
+            fp = dev.memory_time(lookup_bytes)
+            # Backward: scatter-add of the same rows.
+            bp = dev.memory_time(lookup_bytes)
+            return BlockTime(block.name, fp, bp)
+        fwd_flops = sum(self.layer_flops(layer) for layer in block.layers)
+        fp = self.gpu.compute_time(fwd_flops)
+        bp = self.gpu.compute_time(fwd_flops * BP_FP_RATIO)
+        return BlockTime(block.name, fp, bp)
+
+    def times(self, blocks: list[BlockSpec]) -> dict[str, BlockTime]:
+        return {b.name: self.block_time(b) for b in blocks}
+
+    def step_compute_time(self, blocks: list[BlockSpec]) -> float:
+        """Total FP+BP seconds with zero communication (compute floor)."""
+        return sum(t.fp + t.bp for t in self.times(blocks).values())

@@ -1,0 +1,59 @@
+"""Per-layer floating-point operation counts (forward pass).
+
+Conventions: one multiply-accumulate = 2 FLOPs; counts are *per batch*
+given ``tokens`` = batch_size × seq_len.  Backward is modelled by the
+estimator as 2× forward (the standard dL/dx + dL/dW rule of thumb).
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive
+
+
+def linear_flops(tokens: int, in_dim: int, out_dim: int) -> float:
+    """Affine map over ``tokens`` positions."""
+    check_positive("tokens", tokens)
+    return 2.0 * tokens * in_dim * out_dim
+
+
+def lstm_layer_flops(tokens: int, input_dim: int, hidden_dim: int) -> float:
+    """One LSTM layer over a sequence: fused 4-gate matmuls + elementwise."""
+    gate = 2.0 * tokens * (input_dim + hidden_dim) * (4 * hidden_dim)
+    elementwise = 10.0 * tokens * hidden_dim
+    return gate + elementwise
+
+
+def attention_flops(batch: int, seq: int, dim: int) -> float:
+    """Multi-head self-attention: QKV/output projections + score/context matmuls."""
+    check_positive("batch", batch)
+    check_positive("seq", seq)
+    proj = 4 * linear_flops(batch * seq, dim, dim)
+    scores = 2.0 * batch * seq * seq * dim  # QK^T
+    context = 2.0 * batch * seq * seq * dim  # probs @ V
+    return proj + scores + context
+
+
+def ffn_flops(tokens: int, dim: int, ffn_dim: int) -> float:
+    """Position-wise feed-forward (two linears)."""
+    return linear_flops(tokens, dim, ffn_dim) + linear_flops(tokens, ffn_dim, dim)
+
+
+def transformer_layer_flops(
+    batch: int, seq: int, dim: int, ffn_dim: int, cross_attention: bool = False,
+    memory_seq: int | None = None,
+) -> float:
+    """One Transformer block; decoder blocks add a cross-attention stage."""
+    total = attention_flops(batch, seq, dim) + ffn_flops(batch * seq, dim, ffn_dim)
+    if cross_attention:
+        mseq = memory_seq if memory_seq is not None else seq
+        proj = 4 * linear_flops(batch * seq, dim, dim)
+        mix = 4.0 * batch * seq * mseq * dim
+        total += proj + mix
+    return total
+
+
+def embedding_lookup_bytes(tokens: int, dim: int, itemsize: int = 4) -> float:
+    """Bytes moved by an embedding gather (memory-bound, not FLOP-bound)."""
+    check_positive("tokens", tokens)
+    check_positive("dim", dim)
+    return 2.0 * tokens * dim * itemsize  # read row + write output

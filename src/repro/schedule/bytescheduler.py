@@ -1,0 +1,35 @@
+"""ByteScheduler-style tensor partitioning (Peng et al., SOSP'19).
+
+The BytePS baseline partitions each gradient tensor into fixed-size
+chunks and schedules chunks by layer priority, trading extra
+per-message start latency and lower per-message bandwidth utilization
+for finer-grained overlap — the two inefficiencies §4.2.1 notes
+("extra communication starting overhead due to the increasing number of
+communication operations; inadequate bandwidth utilization due to the
+small partitioned message size").
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive
+
+#: ByteScheduler's default partition credit (bytes).
+DEFAULT_PARTITION_BYTES = 4 * 1024 * 1024
+
+
+def partition_tensor(
+    nbytes: float, partition_bytes: float = DEFAULT_PARTITION_BYTES
+) -> list[float]:
+    """Split a tensor payload into chunk sizes (last chunk may be short)."""
+    check_positive("partition_bytes", partition_bytes)
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    if nbytes == 0:
+        return []
+    chunks = []
+    remaining = float(nbytes)
+    while remaining > 0:
+        take = min(partition_bytes, remaining)
+        chunks.append(take)
+        remaining -= take
+    return chunks

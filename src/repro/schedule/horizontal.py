@@ -1,0 +1,48 @@
+"""Block-level Horizontal Scheduling — priority assignment (§4.2.1).
+
+The paper replaces the FIFO communication queue with a priority queue:
+
+* dense blocks are prioritized "according to the FP dependency order so
+  that their FP could start as soon as communications finish" — the
+  block whose forward runs *first* next iteration communicates first;
+* prior sparse gradients (from Vertical Sparse Scheduling) get the
+  highest priority of all — they gate the hoisted embedding FP;
+* delayed sparse gradients get the lowest priority.
+
+Smaller numbers mean higher priority (heap convention).
+"""
+
+from __future__ import annotations
+
+from repro.models.blocks import DENSE, BlockSpec
+
+#: Priority of prior sparse gradients (ahead of everything).
+PRIORITY_PRIOR = -1.0
+
+#: Priority of delayed sparse gradients (behind everything).
+PRIORITY_DELAYED = 1e9
+
+
+def horizontal_priorities(blocks: list[BlockSpec]) -> dict[str, float]:
+    """Dense-block communication priorities in FP dependency order.
+
+    ``blocks`` is the model's decomposition in forward order; the i-th
+    dense block gets priority ``i`` (earlier FP -> more urgent).
+    """
+    priorities: dict[str, float] = {}
+    rank = 0
+    for block in blocks:
+        if block.kind == DENSE:
+            priorities[block.name] = float(rank)
+            rank += 1
+    return priorities
+
+
+def fifo_priorities(order: list[str]) -> dict[str, float]:
+    """The default-scheduling baseline: priority = enqueue (BP) order.
+
+    With wait-free backprop, gradients are enqueued in *backward* order —
+    the reverse of FP order — and drained FIFO.  Expressing FIFO as
+    priorities keeps both policies on the same executor.
+    """
+    return {name: float(i) for i, name in enumerate(order)}

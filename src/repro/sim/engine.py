@@ -1,0 +1,43 @@
+"""Event loop: a time-ordered queue of callbacks."""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+
+class Simulator:
+    """Minimal deterministic discrete-event engine.
+
+    Events at equal timestamps run in scheduling order (a monotonically
+    increasing sequence number breaks ties), so runs are reproducible.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at ``now + delay``."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, fn))
+
+    def run(self, until: float | None = None) -> float:
+        """Process events until the queue drains (or ``until``); return time."""
+        while self._queue:
+            t, _, fn = self._queue[0]
+            if until is not None and t > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = t
+            fn()
+        if until is not None and self.now < until and not self._queue:
+            self.now = until
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,46 @@
+"""Task-graph execution on the event engine."""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+from repro.sim.task import Task, TaskGraph
+from repro.sim.trace import Trace, TraceEntry
+
+
+def execute(graph: TaskGraph) -> Trace:
+    """Run every task respecting dependencies and resource exclusivity.
+
+    Tasks become *ready* when all dependencies complete; each resource
+    then serves its ready set in priority order.  Returns the full
+    :class:`~repro.sim.trace.Trace`.
+    """
+    sim = Simulator()
+    resources = {name: Resource(name, sim) for name in graph.resources()}
+    dependents = graph.dependents()
+    remaining = {name: len(task.deps) for name, task in graph.tasks.items()}
+    entries: list[TraceEntry] = []
+    done: set[str] = set()
+
+    def on_done(task: Task, start: float, end: float) -> None:
+        entries.append(TraceEntry(task.name, task.resource, task.kind, start, end))
+        done.add(task.name)
+        for child in dependents[task.name]:
+            remaining[child] -= 1
+            if remaining[child] == 0:
+                submit(graph[child])
+
+    def submit(task: Task) -> None:
+        resources[task.resource].submit(task, on_done)
+
+    for name, task in graph.tasks.items():
+        if remaining[name] == 0:
+            submit(task)
+
+    sim.run()
+    if len(done) != len(graph):
+        stuck = sorted(set(graph.tasks) - done)
+        raise RuntimeError(
+            f"deadlock: {len(stuck)} tasks never ran (first: {stuck[:5]})"
+        )
+    return Trace(entries)

@@ -1,0 +1,112 @@
+"""Multi-rank expansion of a symmetric step graph.
+
+The strategy compiler (``repro.strategies``) builds one worker's step —
+valid because synchronous data parallelism is symmetric.  This module
+*expands* that graph to ``world_size`` explicit ranks:
+
+* every compute-stream task is cloned per rank (onto ``compute:r``),
+  optionally scaled by a per-rank ``compute_skew`` factor (stragglers);
+* every communication task becomes a single **collective** on a shared
+  ``network`` resource that starts only when *all* ranks' producing
+  tasks have finished and gates all ranks' consumers — the defining
+  synchronization of collective communication.
+
+Uses:
+
+* validate the symmetric shortcut (skew = 1 everywhere must reproduce
+  the single-rank makespan exactly — tested);
+* straggler studies: one slow worker stalls every collective, which is
+  precisely why synchronous training is latency-sensitive.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.sim.task import Task, TaskGraph
+from repro.strategies.base import COMM, COMPUTE
+from repro.utils.validation import check_positive
+
+NETWORK = "network"
+
+
+def expand_to_ranks(
+    graph: TaskGraph,
+    world_size: int,
+    compute_skew: Sequence[float] | None = None,
+) -> TaskGraph:
+    """Clone a symmetric step graph into an explicit ``world_size``-rank graph.
+
+    Parameters
+    ----------
+    graph:
+        A strategy-built step graph using the ``compute``/``comm``
+        resource convention.
+    world_size:
+        Number of explicit ranks.
+    compute_skew:
+        Per-rank multiplier on compute durations (default all 1.0).
+    """
+    check_positive("world_size", world_size)
+    skew = list(compute_skew) if compute_skew is not None else [1.0] * world_size
+    if len(skew) != world_size:
+        raise ValueError(f"need {world_size} skew factors, got {len(skew)}")
+    if any(s <= 0 for s in skew):
+        raise ValueError("skew factors must be positive")
+
+    out = TaskGraph()
+    for task in graph.tasks.values():
+        if task.resource == COMM:
+            deps: list[str] = []
+            for dep in task.deps:
+                deps.extend(_rank_names(graph, dep, world_size))
+            out.add(
+                Task(
+                    name=task.name,
+                    duration=task.duration,
+                    resource=NETWORK,
+                    kind=task.kind,
+                    priority=task.priority,
+                    deps=tuple(deps),
+                    meta=dict(task.meta),
+                )
+            )
+        elif task.resource == COMPUTE:
+            for rank in range(world_size):
+                deps = []
+                for dep in task.deps:
+                    deps.extend(_rank_names(graph, dep, world_size, rank=rank))
+                out.add(
+                    Task(
+                        name=f"{task.name}@{rank}",
+                        duration=task.duration * skew[rank],
+                        resource=f"{COMPUTE}:{rank}",
+                        kind=task.kind,
+                        priority=task.priority,
+                        deps=tuple(deps),
+                        meta=dict(task.meta),
+                    )
+                )
+        else:
+            raise ValueError(
+                f"{task.name}: unknown resource {task.resource!r} "
+                "(expected 'compute' or 'comm')"
+            )
+    return out
+
+
+def _rank_names(
+    graph: TaskGraph, dep: str, world_size: int, rank: int | None = None
+) -> list[str]:
+    """Map a symmetric dependency to its expanded name(s).
+
+    A dependency on a comm task maps to the shared collective; a
+    dependency on a compute task maps to the same rank's clone (or to
+    every rank's clone when the consumer is a collective, ``rank=None``).
+    """
+    dep_task = graph[dep]
+    if dep_task.resource == COMM:
+        return [dep]
+    if rank is not None:
+        return [f"{dep}@{rank}"]
+    return [f"{dep}@{r}" for r in range(world_size)]

@@ -1,0 +1,75 @@
+"""Multi-step (pipelined) simulation.
+
+A single step graph forces every communication — including EmbRace's
+*delayed* gradients — to finish inside the step's makespan.  In steady
+state that is pessimistic: the paper explicitly allows delayed
+gradients to trail into the next iteration ("the communications of
+delayed gradients could be performed later", §4.2.2), overlapping the
+next backward pass.
+
+:func:`chain_steps` instantiates a strategy's step graph ``n`` times
+with the correct cross-step dependencies:
+
+* step *k+1*'s backward of a block starts only after step *k+1*'s
+  forward of that block (same worker, same weights);
+* within-step deps are preserved verbatim;
+* communications carry over naturally — the comm stream is shared, so
+  a trailing ``a2a_delayed`` of step *k* competes (by priority) with
+  step *k+1*'s traffic, exactly the paper's intent.
+
+:func:`steady_state_step_time` then measures the asymptotic per-step
+cost as the marginal makespan of the later steps, removing the
+pipeline-fill transient.
+"""
+
+from __future__ import annotations
+
+from repro.sim.executor import execute
+from repro.sim.task import Task, TaskGraph
+from repro.sim.trace import Trace
+from repro.utils.validation import check_positive
+
+
+def chain_steps(graph: TaskGraph, n_steps: int) -> TaskGraph:
+    """Replicate a step graph ``n_steps`` times with cross-step deps."""
+    check_positive("n_steps", n_steps)
+    # Identify the FP task of each block (fp:<block>) to gate the next
+    # step's corresponding BP task (bp:<block>).
+    fp_names = {name for name in graph.tasks if name.startswith("fp:")}
+    out = TaskGraph()
+    for step in range(n_steps):
+        for task in graph.tasks.values():
+            deps = [f"s{step}:{d}" for d in task.deps]
+            if step > 0 and task.name.startswith("bp:"):
+                block = task.name[len("bp:") :]
+                fp = f"fp:{block}"
+                if fp in fp_names:
+                    deps.append(f"s{step - 1}:{fp}")
+            out.add(
+                Task(
+                    name=f"s{step}:{task.name}",
+                    duration=task.duration,
+                    resource=task.resource,
+                    kind=task.kind,
+                    priority=task.priority,
+                    deps=tuple(deps),
+                    meta=dict(task.meta),
+                )
+            )
+    return out
+
+
+def steady_state_step_time(
+    graph: TaskGraph, n_steps: int = 4
+) -> tuple[float, Trace]:
+    """Asymptotic per-step time of the pipelined execution.
+
+    Returns ``((makespan_n - makespan_1) / (n_steps - 1), trace_n)`` —
+    the marginal cost per additional step once the pipeline is full.
+    Requires ``n_steps >= 2``.
+    """
+    if n_steps < 2:
+        raise ValueError(f"n_steps must be >= 2, got {n_steps}")
+    one = execute(chain_steps(graph, 1)).makespan
+    trace = execute(chain_steps(graph, n_steps))
+    return (trace.makespan - one) / (n_steps - 1), trace

@@ -1,0 +1,109 @@
+"""Execution traces and the paper's Computation Stall metric."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed task."""
+
+    name: str
+    resource: str
+    kind: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """Completed-task timeline plus derived metrics."""
+
+    def __init__(self, entries: list[TraceEntry]):
+        self.entries = sorted(entries, key=lambda e: (e.start, e.name))
+
+    @property
+    def makespan(self) -> float:
+        return max((e.end for e in self.entries), default=0.0)
+
+    def busy_time(self, resource: str) -> float:
+        return sum(e.duration for e in self.entries if e.resource == resource)
+
+    def kind_time(self, kind: str) -> float:
+        return sum(e.duration for e in self.entries if e.kind == kind)
+
+    def computation_stall(self, compute_resource: str = "compute") -> float:
+        """Stall per the paper's §5.4 definition.
+
+        *"the computation stall time caused by communication during the
+        training procedure.  For EmbRace, the Computation Stall consists
+        of the Vertical Sparse Scheduling computation and communications
+        that are not overlapped by computation."*
+
+        Implemented as makespan minus *useful* compute time: idle gaps on
+        the compute stream plus any ``'overhead'``-kind work (the
+        vertical scheduling calculation) both count as stall.
+        """
+        useful = sum(
+            e.duration
+            for e in self.entries
+            if e.resource == compute_resource and e.kind == "compute"
+        )
+        return self.makespan - useful
+
+    def overlap_ratio(self, comm_resource: str = "comm") -> float:
+        """Fraction of communication time hidden under the makespan's
+        compute activity: 1 - (stall attributable to comm) / comm time."""
+        comm = self.busy_time(comm_resource)
+        if comm == 0:
+            return 1.0
+        exposed = self.computation_stall() - self.kind_time("overhead")
+        return max(0.0, 1.0 - exposed / comm)
+
+    def by_resource(self, resource: str) -> list[TraceEntry]:
+        return [e for e in self.entries if e.resource == resource]
+
+    def gaps(self, resource: str) -> list[tuple[float, float]]:
+        """Idle intervals on a resource within [0, makespan].
+
+        The compute stream's gaps are exactly where communication
+        exposes itself — the raw material of the Computation Stall
+        metric and of Fig. 6's visual reading.
+        """
+        entries = self.by_resource(resource)
+        out: list[tuple[float, float]] = []
+        cursor = 0.0
+        for e in entries:  # already sorted by start
+            if e.start > cursor + 1e-15:
+                out.append((cursor, e.start))
+            cursor = max(cursor, e.end)
+        if cursor + 1e-15 < self.makespan:
+            out.append((cursor, self.makespan))
+        return out
+
+    def find(self, name: str) -> TraceEntry:
+        for e in self.entries:
+            if e.name == name:
+                return e
+        raise KeyError(name)
+
+    def render_ascii(self, width: int = 80) -> str:
+        """A Fig. 6-style two-lane timeline for humans."""
+        if not self.entries:
+            return "(empty trace)"
+        span = self.makespan
+        lines = []
+        for resource in sorted({e.resource for e in self.entries}):
+            lane = [" "] * width
+            for e in self.by_resource(resource):
+                lo = int(e.start / span * (width - 1))
+                hi = max(lo + 1, int(e.end / span * (width - 1)))
+                char = e.name[0].upper() if e.kind != "comm" else e.name[0].lower()
+                for i in range(lo, min(hi, width)):
+                    lane[i] = char
+            lines.append(f"{resource:>10s} |{''.join(lane)}|")
+        return "\n".join(lines)

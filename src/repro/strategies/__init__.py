@@ -1,0 +1,59 @@
+"""Distributed-training strategies: EmbRace and the four paper baselines.
+
+Each strategy compiles one steady-state training step — backward pass,
+gradient communication, next forward pass — into a
+:class:`~repro.sim.TaskGraph` over a ``compute`` stream and a ``comm``
+stream, exactly the structure of the paper's Fig. 6 timelines.  The
+differences between strategies are *only*:
+
+* which collective carries each tensor class (dense blocks vs embedding
+  tables) and at what payload size,
+* how communications are prioritized (FIFO vs priority queue),
+* whether the next FP is gated per-block or by a global barrier,
+* EmbRace-only: the Vertical Sparse Scheduling calculation, the
+  prior/delayed split, the hoisted embedding FP and the forward
+  AlltoAll of lookup results.
+"""
+
+from repro.strategies.base import StepContext, Strategy, build_context
+from repro.strategies.hvd_allreduce import HorovodAllReduce
+from repro.strategies.hvd_allgather import HorovodAllGather
+from repro.strategies.byteps import BytePS
+from repro.strategies.parallax import Parallax
+from repro.strategies.embrace import EmbRace
+from repro.strategies.variants import (
+    EmbRaceHorizontalOnly,
+    EmbRaceNoScheduling,
+    EmbRaceRowPartitioned,
+    EmbRaceWithDGC,
+)
+
+ALL_STRATEGIES = {
+    cls().name: cls
+    for cls in (
+        HorovodAllReduce,
+        HorovodAllGather,
+        BytePS,
+        Parallax,
+        EmbRace,
+        EmbRaceNoScheduling,
+        EmbRaceHorizontalOnly,
+        EmbRaceWithDGC,
+    )
+}
+
+__all__ = [
+    "Strategy",
+    "StepContext",
+    "build_context",
+    "HorovodAllReduce",
+    "HorovodAllGather",
+    "BytePS",
+    "Parallax",
+    "EmbRace",
+    "EmbRaceNoScheduling",
+    "EmbRaceHorizontalOnly",
+    "EmbRaceRowPartitioned",
+    "EmbRaceWithDGC",
+    "ALL_STRATEGIES",
+]

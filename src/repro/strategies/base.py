@@ -1,0 +1,210 @@
+"""Shared step-graph construction machinery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.hardware import CPU_HOST, GPUSpec
+from repro.cluster.topology import ClusterSpec
+from repro.collectives.cost import CostModel
+from repro.models.blocks import DENSE, EMBEDDING, BlockSpec, block_specs
+from repro.models.config import ModelConfig
+from repro.perf.estimator import BlockTime, ComputeEstimator
+from repro.schedule.vertical import EmbeddingGradStats
+from repro.sim import TaskGraph
+
+COMPUTE = "compute"
+COMM = "comm"
+
+
+#: Array passes of a worker-side Adam update (grad read; m, v, param
+#: read+write) over the touched bytes.
+ADAM_UPDATE_PASSES = 6.0
+
+#: Array passes to apply parameters pulled from a PS (read + write).
+PS_APPLY_PASSES = 2.0
+
+
+@dataclass
+class StepContext:
+    """Everything a strategy needs to compile one training step."""
+
+    config: ModelConfig
+    cluster: ClusterSpec
+    blocks: list[BlockSpec]
+    block_times: dict[str, BlockTime]
+    cost: CostModel
+    stats: dict[str, EmbeddingGradStats]
+    embedding_device: "GPUSpec | None" = None
+
+    def device_for(self, block: BlockSpec) -> "GPUSpec":
+        """The device holding a block's parameters (host for CPU-resident
+        embedding tables, §5.3)."""
+        if block.kind == EMBEDDING and self.embedding_device is not None:
+            return self.embedding_device
+        return self.cluster.gpu
+
+    @property
+    def world_size(self) -> int:
+        return self.cluster.world_size
+
+    def dense_blocks(self) -> list[BlockSpec]:
+        return [b for b in self.blocks if b.kind == DENSE]
+
+    def embedding_blocks(self) -> list[BlockSpec]:
+        return [b for b in self.blocks if b.kind == EMBEDDING]
+
+    def table_stats(self, table: str) -> EmbeddingGradStats:
+        try:
+            return self.stats[table]
+        except KeyError:
+            raise KeyError(
+                f"no gradient stats for table {table!r}; have {sorted(self.stats)}"
+            ) from None
+
+    def lookup_payload_bytes(self, table: str) -> float:
+        """Per-worker forward AlltoAll payload: one embedding vector per
+        looked-up position of the local batch (float32)."""
+        st = self.table_stats(table)
+        return st.original_rows * st.dim * 4
+
+
+def build_context(
+    config: ModelConfig,
+    cluster: ClusterSpec,
+    stats: dict[str, EmbeddingGradStats],
+    gpu_kind: str = "rtx3090",
+    embedding_on_cpu: bool | None = None,
+) -> StepContext:
+    """Assemble a :class:`StepContext` for (model, cluster).
+
+    ``embedding_on_cpu`` defaults to the paper's placement rule: the LM's
+    tables do not fit an 8 GB RTX2080, so they live in host memory on
+    that cluster (§5.3).
+    """
+    blocks = block_specs(config)
+    if embedding_on_cpu is None:
+        # Parameters + Adam's two moment buffers must fit alongside
+        # activations; otherwise the tables move to host memory.
+        table_bytes = 3 * config.embedding_param_count * 4
+        embedding_on_cpu = table_bytes > 0.6 * cluster.gpu.memory_bytes
+    embedding_device = CPU_HOST if embedding_on_cpu else cluster.gpu
+    estimator = ComputeEstimator(
+        cluster.gpu,
+        batch_size=config.batch_size(gpu_kind),
+        src_seq_len=config.src_seq_len,
+        tgt_seq_len=config.tgt_seq_len,
+        embedding_device=embedding_device,
+    )
+    return StepContext(
+        config=config,
+        cluster=cluster,
+        blocks=blocks,
+        block_times=estimator.times(blocks),
+        cost=CostModel(cluster),
+        stats=stats,
+        embedding_device=embedding_device,
+    )
+
+
+class Strategy:
+    """Base strategy: subclasses implement :meth:`build_step`."""
+
+    #: Name used in result tables (matches the paper's legend).
+    name: str = "base"
+
+    def build_step(self, ctx: StepContext) -> TaskGraph:  # pragma: no cover
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Shared graph fragments
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def add_update_task(
+        graph: TaskGraph,
+        ctx: StepContext,
+        block: BlockSpec,
+        update_bytes: float,
+        deps: tuple[str, ...],
+        passes: float = ADAM_UPDATE_PASSES,
+    ) -> str:
+        """Optimizer update applying a block's aggregated gradient.
+
+        Memory-bound on the device holding the parameters — the term that
+        dominates dense strategies on huge CPU-resident tables (§5.3)
+        and that sparse strategies shrink to the touched rows.
+        """
+        device = ctx.device_for(block)
+        task = f"opt:{block.name}"
+        graph.add_task(
+            task,
+            device.memory_time(passes * update_bytes),
+            COMPUTE,
+            kind="overhead",  # not FP/BP: counts toward Computation Stall
+            priority=50.0,
+            deps=deps,
+        )
+        return task
+
+    @staticmethod
+    def add_bp_chain(graph: TaskGraph, ctx: StepContext) -> list[str]:
+        """Backward pass in reverse FP order on the compute stream.
+
+        Returns task names in BP completion order (wait-free backprop
+        fires each block's gradient communication as its BP finishes).
+        """
+        names = []
+        prev = None
+        for block in reversed(ctx.blocks):
+            task = f"bp:{block.name}"
+            deps = (prev,) if prev else ()
+            graph.add_task(
+                task,
+                ctx.block_times[block.name].bp,
+                COMPUTE,
+                kind="compute",
+                priority=0.0,
+                deps=deps,
+            )
+            names.append(task)
+            prev = task
+        return names
+
+    @staticmethod
+    def add_fp_chain(
+        graph: TaskGraph,
+        ctx: StepContext,
+        gates: dict[str, list[str]],
+        extra_deps: dict[str, list[str]] | None = None,
+        hoist_embeddings: bool = False,
+    ) -> list[str]:
+        """Next-iteration forward pass honouring FP deps and comm gates.
+
+        ``gates[block]`` lists the communication tasks whose completion
+        the block's FP must wait for (its own parameters' aggregation).
+        ``extra_deps`` adds strategy-specific dependencies (e.g. the
+        forward AlltoAll of lookup results).  With ``hoist_embeddings``
+        the embedding FPs get top compute priority (§4.2.1: "perform
+        embedding FP in advance and delay the FP of Encoder Blocks").
+        """
+        extra_deps = extra_deps or {}
+        names = []
+        for i, block in enumerate(ctx.blocks):
+            task = f"fp:{block.name}"
+            deps = [f"fp:{d}" for d in block.fp_deps]
+            deps += gates.get(block.name, [])
+            deps += extra_deps.get(block.name, [])
+            if block.kind == EMBEDDING and hoist_embeddings:
+                priority = -100.0 + i
+            else:
+                priority = 100.0 + i
+            graph.add_task(
+                task,
+                ctx.block_times[block.name].fp,
+                COMPUTE,
+                kind="compute",
+                priority=priority,
+                deps=tuple(deps),
+            )
+            names.append(task)
+        return names

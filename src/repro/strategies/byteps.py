@@ -1,0 +1,58 @@
+"""Baseline (i): BytePS — PS architecture + ByteScheduler priority chunks.
+
+BytePS "treats sparse tensors as dense tensors" (§5.2.3), pushes/pulls
+everything through parameter servers (one per node), and integrates
+ByteScheduler: tensors are partitioned into ~4 MB chunks scheduled by a
+priority queue in FP order, with per-block FP gating (a chunked, PS
+flavour of priority scheduling).
+"""
+
+from __future__ import annotations
+
+from repro.schedule.bytescheduler import DEFAULT_PARTITION_BYTES, partition_tensor
+from repro.schedule.horizontal import horizontal_priorities
+from repro.sim import TaskGraph
+from repro.strategies.base import COMM, PS_APPLY_PASSES, StepContext, Strategy
+
+
+class BytePS(Strategy):
+    name = "BytePS"
+
+    def __init__(self, partition_bytes: float = DEFAULT_PARTITION_BYTES):
+        self.partition_bytes = partition_bytes
+
+    def build_step(self, ctx: StepContext) -> TaskGraph:
+        graph = TaskGraph()
+        self.add_bp_chain(graph, ctx)
+
+        priorities = horizontal_priorities(ctx.blocks)
+        gates: dict[str, list[str]] = {}
+        for block in ctx.blocks:
+            # Dense format for everything, embedding tables included.
+            chunks = partition_tensor(block.param_nbytes, self.partition_bytes)
+            prio = priorities.get(block.name, -0.5)  # embeddings most urgent
+            tasks = []
+            for i, chunk in enumerate(chunks):
+                task = f"ps:{block.name}:{i}"
+                cost = ctx.cost.parameter_server(
+                    chunk, server_update_passes=PS_APPLY_PASSES
+                )
+                graph.add_task(
+                    task,
+                    cost.seconds,
+                    COMM,
+                    kind="comm",
+                    priority=prio,
+                    deps=(f"bp:{block.name}",),
+                )
+                tasks.append(task)
+            # Servers update; the worker applies the pulled dense params.
+            opt = self.add_update_task(
+                graph, ctx, block, block.param_nbytes, tuple(tasks),
+                passes=PS_APPLY_PASSES,
+            )
+            gates[block.name] = [opt]
+
+        # ByteScheduler gates each block's FP on its own chunks only.
+        self.add_fp_chain(graph, ctx, gates)
+        return graph

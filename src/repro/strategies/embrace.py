@@ -1,0 +1,185 @@
+"""EmbRace: Sparsity-aware Hybrid Communication + 2D Communication Scheduling.
+
+Per step (Fig. 6c):
+
+* dense blocks: ring AllReduce, priorities in FP dependency order
+  (Block-level Horizontal Scheduling);
+* embedding tables (column-wise partitioned, model parallel):
+
+  - after the last BP, the **Vertical Sparse Scheduling calculation**
+    runs on the idle GPU (coalesce + set ops of Algorithm 1) — counted
+    as Computation Stall per §5.4;
+  - the **prior** gradient part (rows the next batch needs) goes out by
+    AlltoAll at top priority; the hoisted embedding FP waits only for it;
+  - the **delayed** part goes out at the lowest priority;
+  - embedding FP results are redistributed by a second AlltoAll
+    ("Emb Data") which gates the encoder/decoder block FPs.
+"""
+
+from __future__ import annotations
+
+from repro.models.blocks import EMBEDDING
+from repro.schedule.horizontal import (
+    PRIORITY_DELAYED,
+    PRIORITY_PRIOR,
+    horizontal_priorities,
+)
+from repro.sim import TaskGraph
+from repro.strategies.base import COMM, COMPUTE, StepContext, Strategy
+
+#: Priority of the forward lookup-result AlltoAll: after prior gradients,
+#: ahead of all dense AllReduces.
+PRIORITY_DATA = -0.5
+
+#: The vertical calculation touches each gradient row a few times
+#: (coalesce scatter, unique/sort, index_select gather).
+VERTICAL_CALC_PASSES = 3.0
+
+
+class EmbRace(Strategy):
+    name = "EmbRace"
+
+    #: Toggles used by the ablation variants.
+    use_vertical: bool = True
+    use_horizontal: bool = True
+
+    def grad_payloads(self, ctx: StepContext, table: str) -> tuple[float, float]:
+        """(prior, delayed) AlltoAll payload bytes for one table."""
+        st = ctx.table_stats(table)
+        if self.use_vertical:
+            return st.prior_bytes, st.delayed_bytes
+        # Without Vertical Sparse Scheduling the raw uncoalesced gradient
+        # travels in one piece before FP.
+        return st.original_bytes, 0.0
+
+    def comm_skew(self, ctx: StepContext) -> float:
+        """Load-imbalance multiplier on sparse exchanges (1.0 for
+        column-wise partitioning; the row-wise ablation overrides)."""
+        return 1.0
+
+    def build_step(self, ctx: StepContext) -> TaskGraph:
+        graph = TaskGraph()
+        bp_order = self.add_bp_chain(graph, ctx)
+        last_bp = bp_order[-1]
+        skew = self.comm_skew(ctx)
+
+        # ---- Vertical Sparse Scheduling calculation (GPU idle time) ---- #
+        if self.use_vertical:
+            calc_bytes = sum(
+                ctx.table_stats(b.table).original_bytes
+                for b in ctx.embedding_blocks()
+            )
+            calc_time = ctx.cluster.gpu.memory_time(VERTICAL_CALC_PASSES * calc_bytes)
+            graph.add_task(
+                "vertical_calc",
+                calc_time,
+                COMPUTE,
+                kind="overhead",
+                priority=-1000.0,
+                deps=(last_bp,),
+            )
+            sparse_ready = ("vertical_calc",)
+        else:
+            sparse_ready = ()
+
+        # ---- Sparse gradient AlltoAll (prior + delayed) ---------------- #
+        gates: dict[str, list[str]] = {}
+        for block in ctx.embedding_blocks():
+            prior_bytes, delayed_bytes = self.grad_payloads(ctx, block.table)
+            deps = (f"bp:{block.name}",) + sparse_ready
+            prior_task = f"a2a_prior:{block.name}"
+            graph.add_task(
+                prior_task,
+                ctx.cost.alltoall(prior_bytes).seconds * skew,
+                COMM,
+                kind="comm",
+                priority=PRIORITY_PRIOR if self.use_horizontal else 0.0,
+                deps=deps,
+            )
+            # Each rank updates only its own column shard.
+            opt_prior = self.add_update_task(
+                graph, ctx, block, prior_bytes / ctx.world_size, (prior_task,)
+            )
+            gates[block.name] = [opt_prior]
+            if delayed_bytes > 0:
+                delayed_task = f"a2a_delayed:{block.name}"
+                graph.add_task(
+                    delayed_task,
+                    ctx.cost.alltoall(delayed_bytes).seconds * skew,
+                    COMM,
+                    kind="comm",
+                    priority=PRIORITY_DELAYED if self.use_horizontal else 0.0,
+                    deps=deps,
+                )
+                graph.add_task(
+                    f"opt_delayed:{block.name}",
+                    ctx.device_for(block).memory_time(
+                        6.0 * delayed_bytes / ctx.world_size
+                    ),
+                    COMPUTE,
+                    kind="overhead",
+                    priority=200.0,
+                    deps=(delayed_task,),
+                )
+
+        # ---- Dense AllReduce with horizontal priorities ----------------- #
+        priorities = horizontal_priorities(ctx.blocks)
+        dense_gate_tasks: list[str] = []
+        for order, block in enumerate(reversed(ctx.dense_blocks())):
+            task = f"ar:{block.name}"
+            graph.add_task(
+                task,
+                ctx.cost.allreduce(block.param_nbytes).seconds,
+                COMM,
+                kind="comm",
+                priority=(
+                    priorities[block.name] if self.use_horizontal else float(order)
+                ),
+                deps=(f"bp:{block.name}",),
+            )
+            opt = self.add_update_task(graph, ctx, block, block.param_nbytes, (task,))
+            dense_gate_tasks.append(opt)
+            if self.use_horizontal:
+                gates[block.name] = [opt]
+        if not self.use_horizontal:
+            # FIFO baseline behaviour: global barrier before FP.
+            all_gates = dense_gate_tasks + [t for ts in gates.values() for t in ts]
+            gates = {block.name: list(all_gates) for block in ctx.blocks}
+
+        # ---- Next forward pass ------------------------------------------ #
+        # Embedding FP output travels through the forward lookup-result
+        # AlltoAll ("Emb Data"), so consumers depend on that exchange
+        # instead of on the embedding FP directly.  Embedding FP tasks
+        # are *hoisted* via compute priority (§4.2.1), not insertion
+        # order, so a single in-block-order loop keeps the graph
+        # topological even when an embedding depends on a dense block
+        # (the LM's softmax table follows the projection).
+        emb_names = {b.name for b in ctx.embedding_blocks()}
+        for i, block in enumerate(ctx.blocks):
+            fp_deps = []
+            for d in block.fp_deps:
+                if d in emb_names:
+                    fp_deps.append(f"a2a_data:{d}")
+                else:
+                    fp_deps.append(f"fp:{d}")
+            deps = fp_deps + gates.get(block.name, [])
+            hoist = block.kind == EMBEDDING and self.use_horizontal
+            graph.add_task(
+                f"fp:{block.name}",
+                ctx.block_times[block.name].fp,
+                COMPUTE,
+                kind="compute",
+                priority=(-100.0 + i) if hoist else (100.0 + i),
+                deps=tuple(deps),
+            )
+            if block.kind == EMBEDDING:
+                graph.add_task(
+                    f"a2a_data:{block.name}",
+                    ctx.cost.alltoall(ctx.lookup_payload_bytes(block.table)).seconds
+                    * skew,
+                    COMM,
+                    kind="comm",
+                    priority=PRIORITY_DATA if self.use_horizontal else 0.5,
+                    deps=(f"fp:{block.name}",),
+                )
+        return graph

@@ -1,0 +1,49 @@
+"""Baseline (iii): Horovod AllGather — sparse tensors gathered, FIFO queue.
+
+Horovod >= 0.22 PyTorch default: embedding gradients travel in sparse
+COO format via AllGather (each worker receives every peer's uncoalesced
+gradient); dense gradients keep ring AllReduce.  No priority scheduling.
+"""
+
+from __future__ import annotations
+
+from repro.models.blocks import EMBEDDING
+from repro.sim import TaskGraph
+from repro.strategies.base import COMM, StepContext, Strategy
+
+
+class HorovodAllGather(Strategy):
+    name = "Horovod-AllGather"
+
+    def build_step(self, ctx: StepContext) -> TaskGraph:
+        graph = TaskGraph()
+        self.add_bp_chain(graph, ctx)
+
+        update_tasks: list[str] = []
+        for order, block in enumerate(reversed(ctx.blocks)):
+            if block.kind == EMBEDDING:
+                # The framework gathers the raw (uncoalesced) COO gradient.
+                payload = ctx.table_stats(block.table).original_bytes
+                cost = ctx.cost.allgather(payload)
+                task = f"ag:{block.name}"
+                # Every replica sums and applies all N gathered gradients.
+                update_bytes = ctx.world_size * payload
+            else:
+                cost = ctx.cost.allreduce(block.param_nbytes)
+                task = f"ar:{block.name}"
+                update_bytes = block.param_nbytes
+            graph.add_task(
+                task,
+                cost.seconds,
+                COMM,
+                kind="comm",
+                priority=float(order),
+                deps=(f"bp:{block.name}",),
+            )
+            update_tasks.append(
+                self.add_update_task(graph, ctx, block, update_bytes, (task,))
+            )
+
+        gates = {block.name: list(update_tasks) for block in ctx.blocks}
+        self.add_fp_chain(graph, ctx, gates)
+        return graph

@@ -1,0 +1,45 @@
+"""Baseline (ii): Horovod AllReduce — every tensor densified, FIFO queue.
+
+The Horovod 0.21 PyTorch default: sparse embedding gradients are
+converted to dense and ring-AllReduced like everything else; the
+communication queue is FIFO in BP-completion order; the next FP starts
+only after all aggregation finishes (the "Default Scheduling" timeline,
+Fig. 6a).
+"""
+
+from __future__ import annotations
+
+from repro.sim import TaskGraph
+from repro.strategies.base import COMM, StepContext, Strategy
+
+
+class HorovodAllReduce(Strategy):
+    name = "Horovod-AllReduce"
+
+    def build_step(self, ctx: StepContext) -> TaskGraph:
+        graph = TaskGraph()
+        self.add_bp_chain(graph, ctx)
+
+        update_tasks: list[str] = []
+        # Wait-free backprop: gradients communicate in BP (reverse-FP)
+        # order; FIFO is expressed as monotonically increasing priority.
+        for order, block in enumerate(reversed(ctx.blocks)):
+            task = f"ar:{block.name}"
+            cost = ctx.cost.allreduce(block.param_nbytes)  # dense format!
+            graph.add_task(
+                task,
+                cost.seconds,
+                COMM,
+                kind="comm",
+                priority=float(order),
+                deps=(f"bp:{block.name}",),
+            )
+            # Dense-format optimizer update over the full parameter.
+            update_tasks.append(
+                self.add_update_task(graph, ctx, block, block.param_nbytes, (task,))
+            )
+
+        # Global synchronization barrier before the next FP.
+        gates = {block.name: list(update_tasks) for block in ctx.blocks}
+        self.add_fp_chain(graph, ctx, gates)
+        return graph

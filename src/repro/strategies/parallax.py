@@ -1,0 +1,61 @@
+"""Baseline (iv): Parallax — partitioned PS for sparse, AllReduce for dense.
+
+Kim et al. (EuroSys'19): embedding gradients go to a parameter server
+partitioned across nodes in sparse format; dense gradients use ring
+AllReduce.  No communication scheduling (FIFO, global FP barrier).
+"""
+
+from __future__ import annotations
+
+from repro.models.blocks import EMBEDDING
+from repro.sim import TaskGraph
+from repro.strategies.base import (
+    ADAM_UPDATE_PASSES,
+    COMM,
+    PS_APPLY_PASSES,
+    StepContext,
+    Strategy,
+)
+
+
+class Parallax(Strategy):
+    name = "Parallax"
+
+    def build_step(self, ctx: StepContext) -> TaskGraph:
+        graph = TaskGraph()
+        self.add_bp_chain(graph, ctx)
+
+        update_tasks: list[str] = []
+        for order, block in enumerate(reversed(ctx.blocks)):
+            if block.kind == EMBEDDING:
+                payload = ctx.table_stats(block.table).original_bytes
+                # Servers run sparse Adam over every worker's push before
+                # pulls return (host-side, serialized).
+                cost = ctx.cost.parameter_server(
+                    payload, server_update_passes=ADAM_UPDATE_PASSES
+                )
+                task = f"ps:{block.name}"
+                # Servers hold the sharded sparse optimizer state; the
+                # worker only applies the pulled rows.
+                update_bytes, passes = payload, PS_APPLY_PASSES
+            else:
+                cost = ctx.cost.allreduce(block.param_nbytes)
+                task = f"ar:{block.name}"
+                update_bytes, passes = block.param_nbytes, ADAM_UPDATE_PASSES
+            graph.add_task(
+                task,
+                cost.seconds,
+                COMM,
+                kind="comm",
+                priority=float(order),
+                deps=(f"bp:{block.name}",),
+            )
+            update_tasks.append(
+                self.add_update_task(
+                    graph, ctx, block, update_bytes, (task,), passes=passes
+                )
+            )
+
+        gates = {block.name: list(update_tasks) for block in ctx.blocks}
+        self.add_fp_chain(graph, ctx, gates)
+        return graph

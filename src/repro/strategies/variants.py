@@ -1,0 +1,104 @@
+"""EmbRace ablation variants (Fig. 9 and design-choice studies)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.zipf import ZipfSampler
+from repro.strategies.base import StepContext
+from repro.strategies.embrace import EmbRace
+
+
+class EmbRaceNoScheduling(EmbRace):
+    """Sparsity-aware Hybrid Communication only (Fig. 9's middle bar).
+
+    Column-partitioned AlltoAll for sparse tensors and AllReduce for
+    dense ones, but the FIFO queue and the global FP barrier of default
+    scheduling: no coalescing, no prior/delayed split, no priorities.
+    """
+
+    name = "EmbRace-NoSched"
+    use_vertical = False
+    use_horizontal = False
+
+
+class EmbRaceHorizontalOnly(EmbRace):
+    """Hybrid comm + Block-level Horizontal Scheduling, no vertical split.
+
+    Not a paper figure, but the natural intermediate point between
+    Fig. 9's two EmbRace bars; used by the extended ablation bench.
+    """
+
+    name = "EmbRace-Horizontal"
+    use_vertical = False
+    use_horizontal = True
+
+
+class EmbRaceRowPartitioned(EmbRace):
+    """Design-choice ablation: row-wise instead of column-wise partitioning.
+
+    §4.1.1: "the word frequencies are distinct in most datasets, some
+    partitions will be accessed much more frequently, leading to an
+    unbalancing communication cost."  With contiguous row-range shards
+    over a Zipfian vocabulary, the shard owning the head of the
+    distribution carries far more gradient traffic; since an AlltoAll
+    finishes when its slowest participant finishes, the whole exchange
+    is stretched by the max/mean load ratio.
+    """
+
+    name = "EmbRace-RowPartition"
+
+    def comm_skew(self, ctx: StepContext) -> float:
+        return row_partition_skew(
+            vocab_size=max(t.vocab_size for t in ctx.config.tables),
+            zipf_exponent=ctx.config.zipf_exponent,
+            world_size=ctx.world_size,
+        )
+
+
+def row_partition_skew(
+    vocab_size: int, zipf_exponent: float, world_size: int
+) -> float:
+    """Max/mean shard access probability for contiguous row-range shards.
+
+    Rows are assigned to shards in contiguous frequency-rank ranges (the
+    natural row-wise split of an embedding table); shard load is the
+    total Zipf probability mass it owns.
+    """
+    if world_size <= 1:
+        return 1.0
+    probs = ZipfSampler(vocab_size, zipf_exponent).probs
+    bounds = np.linspace(0, vocab_size, world_size + 1).astype(int)
+    loads = np.add.reduceat(probs, bounds[:-1])
+    return float(loads.max() / loads.mean())
+
+
+class EmbRaceWithDGC(EmbRace):
+    """Extension: EmbRace plus Deep-Gradient-Compression dense traffic.
+
+    §6 lists gradient compression as "orthogonal and complementary to
+    EmbRace"; this variant demonstrates the combination.  Dense blocks
+    send top-k sparsified gradients (ratio ``dgc_ratio``) via AllGather —
+    compressed gradients are non-associative, so AllGather rather than
+    AllReduce carries them (§2.2) — while embedding tables keep EmbRace's
+    AlltoAll path untouched.
+    """
+
+    name = "EmbRace+DGC"
+
+    #: Fraction of dense-gradient elements kept (DGC's default regime).
+    dgc_ratio: float = 0.001
+
+    #: Wire bytes per kept element: int64 index + float64 value.
+    DGC_ELEMENT_BYTES = 16
+
+    def build_step(self, ctx: StepContext):
+        graph = super().build_step(ctx)
+        # Rewrite each dense AllReduce into a compressed AllGather of the
+        # same block (duration only; the DAG shape is unchanged).
+        for block in ctx.dense_blocks():
+            task = graph[f"ar:{block.name}"]
+            kept = max(1, int(round(self.dgc_ratio * block.param_count)))
+            payload = kept * self.DGC_ELEMENT_BYTES
+            task.duration = ctx.cost.allgather(payload).seconds
+        return graph

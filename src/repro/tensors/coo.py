@@ -1,0 +1,217 @@
+"""Row-sparse COO tensors with PyTorch-equivalent semantics.
+
+Embedding gradients are sparse along the row (vocabulary) dimension only:
+an entry is a ``(row_index, value_vector)`` pair.  This matches how PyTorch
+represents ``Embedding(sparse=True)`` gradients, and it is the object that
+EmbRace's Vertical Sparse Scheduling (Algorithm 1) manipulates:
+
+* ``coalesce``   — sum rows with duplicate indices (COALESCE in Alg. 1),
+* ``index_select`` — pick the sub-gradient for a set of rows
+  (INDEX_SELECT in Alg. 1, used to form prior/delayed parts),
+* ``to_dense`` / ``add_to`` — materialize or scatter-add into a table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class SparseRows:
+    """A row-sparse 2-D tensor: ``values[k]`` belongs to row ``indices[k]``.
+
+    Invariants enforced at construction: ``indices`` is 1-D int64,
+    ``values`` is 2-D float with ``len(values) == len(indices)``, and all
+    indices lie in ``[0, num_rows)``.
+    """
+
+    indices: np.ndarray
+    values: np.ndarray
+    num_rows: int
+    coalesced: bool = False
+
+    def __post_init__(self) -> None:
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.values = np.asarray(self.values)
+        if self.indices.ndim != 1:
+            raise ValueError(f"indices must be 1-D, got shape {self.indices.shape}")
+        if self.values.ndim != 2:
+            raise ValueError(f"values must be 2-D, got shape {self.values.shape}")
+        if len(self.indices) != len(self.values):
+            raise ValueError(
+                f"{len(self.indices)} indices vs {len(self.values)} value rows"
+            )
+        if self.num_rows <= 0:
+            raise ValueError(f"num_rows must be positive, got {self.num_rows}")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.num_rows
+        ):
+            raise ValueError(
+                f"indices out of range [0, {self.num_rows}): "
+                f"[{self.indices.min()}, {self.indices.max()}]"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, num_rows: int, dim: int, dtype=np.float64) -> "SparseRows":
+        """A sparse tensor with no stored rows."""
+        return cls(
+            indices=np.empty(0, dtype=np.int64),
+            values=np.empty((0, dim), dtype=dtype),
+            num_rows=num_rows,
+            coalesced=True,
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, atol: float = 0.0) -> "SparseRows":
+        """Extract the rows of ``dense`` whose max-abs exceeds ``atol``."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError(f"from_dense requires a 2-D array, got {dense.shape}")
+        mask = np.abs(dense).max(axis=1) > atol
+        idx = np.nonzero(mask)[0].astype(np.int64)
+        return cls(idx, dense[idx].copy(), dense.shape[0], coalesced=True)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz_rows(self) -> int:
+        """Number of stored (possibly duplicate) rows."""
+        return len(self.indices)
+
+    @property
+    def dim(self) -> int:
+        """Row width (embedding dimension)."""
+        return self.values.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size: value payload plus 8-byte indices."""
+        return int(self.values.nbytes + self.indices.nbytes)
+
+    @property
+    def density(self) -> float:
+        """Fraction of distinct rows stored, in [0, 1]."""
+        if self.nnz_rows == 0:
+            return 0.0
+        distinct = len(np.unique(self.indices))
+        return distinct / self.num_rows
+
+    def __len__(self) -> int:
+        return self.nnz_rows
+
+    # ------------------------------------------------------------------ #
+    # Core operations (Algorithm 1 building blocks)
+    # ------------------------------------------------------------------ #
+    def coalesce(self) -> "SparseRows":
+        """Sum duplicate row indices into single rows; sort by index.
+
+        Equivalent to ``torch.sparse_coo_tensor(...).coalesce()`` restricted
+        to row sparsity.  Idempotent; returns self when already coalesced.
+        """
+        if self.coalesced:
+            return self
+        if self.nnz_rows == 0:
+            return SparseRows(self.indices, self.values, self.num_rows, coalesced=True)
+        uniq, inverse = np.unique(self.indices, return_inverse=True)
+        summed = np.zeros((len(uniq), self.dim), dtype=self.values.dtype)
+        np.add.at(summed, inverse, self.values)
+        return SparseRows(uniq, summed, self.num_rows, coalesced=True)
+
+    def index_select(self, rows: np.ndarray) -> "SparseRows":
+        """Sub-gradient containing only the stored rows whose index is in ``rows``.
+
+        Rows requested but not stored are simply absent from the result
+        (their gradient is zero).  The input may be unsorted and contain
+        duplicates; the output follows this tensor's storage order.
+        """
+        rows = np.unique(np.asarray(rows, dtype=np.int64))
+        if len(rows) and (rows.min() < 0 or rows.max() >= self.num_rows):
+            raise ValueError(
+                f"requested rows out of range [0, {self.num_rows})"
+            )
+        mask = np.isin(self.indices, rows, assume_unique=False)
+        return SparseRows(
+            self.indices[mask],
+            self.values[mask].copy(),
+            self.num_rows,
+            coalesced=self.coalesced,
+        )
+
+    def split(self, rows: np.ndarray) -> tuple["SparseRows", "SparseRows"]:
+        """Partition into (rows in ``rows``, rows not in ``rows``).
+
+        This is the prior/delayed split of Algorithm 1 expressed on the
+        tensor itself; the two parts are disjoint and together hold exactly
+        the stored rows.
+        """
+        rows = np.unique(np.asarray(rows, dtype=np.int64))
+        mask = np.isin(self.indices, rows)
+        inside = SparseRows(
+            self.indices[mask], self.values[mask].copy(), self.num_rows, self.coalesced
+        )
+        outside = SparseRows(
+            self.indices[~mask], self.values[~mask].copy(), self.num_rows, self.coalesced
+        )
+        return inside, outside
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense ``(num_rows, dim)`` array (sums duplicates)."""
+        out = np.zeros((self.num_rows, self.dim), dtype=self.values.dtype)
+        np.add.at(out, self.indices, self.values)
+        return out
+
+    def add_to(self, table: np.ndarray, scale: float = 1.0) -> None:
+        """Scatter-add ``scale * values`` into ``table`` in place."""
+        table = np.asarray(table)
+        if table.shape != (self.num_rows, self.dim):
+            raise ValueError(
+                f"table shape {table.shape} != ({self.num_rows}, {self.dim})"
+            )
+        np.add.at(table, self.indices, scale * self.values)
+
+    def scale(self, factor: float) -> "SparseRows":
+        """Return a copy with values multiplied by ``factor``."""
+        return SparseRows(
+            self.indices.copy(), self.values * factor, self.num_rows, self.coalesced
+        )
+
+    # ------------------------------------------------------------------ #
+    # Combination
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def concat(parts: list["SparseRows"]) -> "SparseRows":
+        """Stack several sparse tensors over the same row space (no coalescing)."""
+        if not parts:
+            raise ValueError("concat requires at least one part")
+        num_rows = parts[0].num_rows
+        dim = parts[0].dim
+        for p in parts[1:]:
+            if p.num_rows != num_rows or p.dim != dim:
+                raise ValueError("all parts must share num_rows and dim")
+        return SparseRows(
+            np.concatenate([p.indices for p in parts]),
+            np.concatenate([p.values for p in parts]),
+            num_rows,
+            coalesced=False,
+        )
+
+    def __add__(self, other: "SparseRows") -> "SparseRows":
+        """Sparse sum: concatenate then coalesce."""
+        if not isinstance(other, SparseRows):
+            return NotImplemented
+        return SparseRows.concat([self, other]).coalesce()
+
+    def allclose(self, other: "SparseRows", rtol: float = 1e-9, atol: float = 1e-12) -> bool:
+        """Numerically compare after coalescing (order-insensitive)."""
+        a, b = self.coalesce(), other.coalesce()
+        if a.num_rows != b.num_rows or a.dim != b.dim:
+            return False
+        if not np.array_equal(a.indices, b.indices):
+            return False
+        return np.allclose(a.values, b.values, rtol=rtol, atol=atol)

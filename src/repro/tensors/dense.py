@@ -1,0 +1,104 @@
+"""Dense tensor *metadata*: shape/dtype/size bookkeeping.
+
+The simulation side of the library never materializes paper-scale tensors
+(an LM embedding is 3.1 GB); it reasons about their shapes and byte sizes.
+:class:`TensorSpec` is that metadata record.  The real-execution side uses
+plain ``numpy.ndarray`` values directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.units import bytes_to_mb
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape + dtype description of a (possibly never-allocated) tensor.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier, e.g. ``"encoder.embedding.weight"``.
+    shape:
+        Tensor shape; must be non-empty with positive extents.
+    dtype:
+        Element type; defaults to float32 as in the paper's experiments.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError(f"{self.name}: shape must be non-empty")
+        if any(d <= 0 for d in self.shape):
+            raise ValueError(f"{self.name}: shape extents must be positive, got {self.shape}")
+        # Validate dtype eagerly so bad specs fail at construction.
+        np.dtype(self.dtype)
+
+    @property
+    def numel(self) -> int:
+        """Number of elements."""
+        return math.prod(self.shape)
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element."""
+        return np.dtype(self.dtype).itemsize
+
+    @property
+    def nbytes(self) -> int:
+        """Total dense byte size."""
+        return self.numel * self.itemsize
+
+    @property
+    def mb(self) -> float:
+        """Dense size in decimal MB (paper's unit)."""
+        return bytes_to_mb(self.nbytes)
+
+    def with_rows(self, nrows: int) -> "TensorSpec":
+        """Spec for ``nrows`` rows of this 2-D tensor (e.g. a sparse slice)."""
+        if len(self.shape) != 2:
+            raise ValueError(f"{self.name}: with_rows requires a 2-D spec, got {self.shape}")
+        if not 0 < nrows:
+            raise ValueError(f"nrows must be positive, got {nrows}")
+        return TensorSpec(self.name, (nrows, self.shape[1]), self.dtype)
+
+    def column_shard(self, world_size: int, rank: int) -> "TensorSpec":
+        """Spec of this 2-D tensor's column-wise shard for ``rank``.
+
+        Column-wise partitioning splits ``shape[1]`` as evenly as possible;
+        the first ``shape[1] % world_size`` shards get one extra column,
+        mirroring how EmbRace partitions embedding tables (§4.1.1).
+        """
+        if len(self.shape) != 2:
+            raise ValueError(f"{self.name}: column_shard requires a 2-D spec")
+        if not 0 <= rank < world_size:
+            raise ValueError(f"rank {rank} out of range for world_size {world_size}")
+        cols = self.shape[1]
+        base, extra = divmod(cols, world_size)
+        width = base + (1 if rank < extra else 0)
+        if width == 0:
+            raise ValueError(
+                f"{self.name}: cannot split {cols} columns over {world_size} ranks"
+            )
+        return TensorSpec(f"{self.name}.shard{rank}", (self.shape[0], width), self.dtype)
+
+    def row_shard(self, world_size: int, rank: int) -> "TensorSpec":
+        """Spec of this 2-D tensor's row-wise shard for ``rank``."""
+        if len(self.shape) != 2:
+            raise ValueError(f"{self.name}: row_shard requires a 2-D spec")
+        if not 0 <= rank < world_size:
+            raise ValueError(f"rank {rank} out of range for world_size {world_size}")
+        rows = self.shape[0]
+        base, extra = divmod(rows, world_size)
+        height = base + (1 if rank < extra else 0)
+        if height == 0:
+            raise ValueError(f"{self.name}: cannot split {rows} rows over {world_size} ranks")
+        return TensorSpec(f"{self.name}.shard{rank}", (height, self.shape[1]), self.dtype)

@@ -1,0 +1,44 @@
+"""Shared utilities: units, RNG helpers, table formatting, validation."""
+
+from repro.utils.units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    Gbps,
+    bytes_to_mb,
+    fmt_bytes,
+    fmt_duration,
+    gbps_to_bytes_per_s,
+)
+from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.tables import Table
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in,
+)
+
+__all__ = [
+    "GB",
+    "GIB",
+    "KB",
+    "KIB",
+    "MB",
+    "MIB",
+    "Gbps",
+    "bytes_to_mb",
+    "fmt_bytes",
+    "fmt_duration",
+    "gbps_to_bytes_per_s",
+    "new_rng",
+    "spawn_rngs",
+    "Table",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in",
+]

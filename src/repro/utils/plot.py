@@ -1,0 +1,81 @@
+"""Terminal plotting: ASCII line charts and bar charts.
+
+Used by the examples and the experiment harness to render figure-like
+views (throughput bars, convergence curves, sparsity sweeps) without a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def line_chart(
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """Multi-series ASCII line chart.
+
+    Each series is resampled to ``width`` columns; series are drawn with
+    distinct glyphs and listed in a legend.
+    """
+    check_positive("width", width)
+    check_positive("height", height)
+    if not series:
+        raise ValueError("need at least one series")
+    glyphs = "*o+x#@%&"
+    values = [np.asarray(v, dtype=float) for v in series.values()]
+    if any(len(v) == 0 for v in values):
+        raise ValueError("series must be non-empty")
+    lo = min(v.min() for v in values)
+    hi = max(v.max() for v in values)
+    span = (hi - lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height + 1)]
+    for si, v in enumerate(values):
+        xs = np.linspace(0, len(v) - 1, width).astype(int)
+        for col, x in enumerate(xs):
+            row = int(round((v[x] - lo) / span * height))
+            grid[height - row][col] = glyphs[si % len(glyphs)]
+
+    lines = []
+    for i, row in enumerate(grid):
+        level = hi - span * i / height
+        lines.append(f"{level:10.3g} |{''.join(row)}")
+    lines.append(" " * 11 + "+" + "-" * width)
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    if y_label:
+        lines.insert(0, y_label)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: dict[str, float],
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart with value labels."""
+    check_positive("width", width)
+    if not values:
+        raise ValueError("need at least one bar")
+    peak = max(values.values())
+    if peak < 0:
+        raise ValueError("bar values must be non-negative")
+    name_width = max(len(n) for n in values)
+    lines = []
+    for name, value in values.items():
+        if value < 0:
+            raise ValueError(f"bar values must be non-negative, got {value}")
+        filled = int(round(width * (value / peak))) if peak > 0 else 0
+        bar = "#" * filled
+        lines.append(f"{name:>{name_width}} |{bar:<{width}} {value:,.4g}{unit}")
+    return "\n".join(lines)

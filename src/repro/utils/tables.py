@@ -1,0 +1,63 @@
+"""Minimal ASCII table rendering for benchmark and experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class Table:
+    """An append-only table of rows rendered with aligned columns.
+
+    Used by the benchmark harness to print the same rows the paper's tables
+    and figure series report.
+
+    >>> t = Table(["model", "size"])
+    >>> t.add_row(["LM", 3186.5])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    model | size
+    ------+-------
+    LM    | 3186.5
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = [self._fmt(c) for c in row]
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    @staticmethod
+    def _fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}" if abs(cell) < 1e4 else f"{cell:.4e}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        sep = "-+-".join("-" * w for w in widths)
+        body = [
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+            for row in self.rows
+        ]
+        lines = [header.rstrip(), sep]
+        lines.extend(body)
+        if self.title:
+            lines.insert(0, self.title)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,57 @@
+"""Unit constants and human-readable formatting.
+
+The paper reports sizes in MB (10**6 bytes, matching how NCCL and the
+EmbRace evaluation count payloads) and bandwidths in Gbps.  All internal
+quantities in this library are plain floats in base SI units: bytes,
+seconds, bytes/second.
+"""
+
+from __future__ import annotations
+
+# Decimal units (used by the paper's MB figures).
+KB = 1_000.0
+MB = 1_000_000.0
+GB = 1_000_000_000.0
+
+# Binary units (used for memory-footprint accounting).
+KIB = 1024.0
+MIB = 1024.0**2
+GIB = 1024.0**3
+
+
+def Gbps(value: float) -> float:
+    """Convert a link rate in gigabits per second to bytes per second."""
+    return value * 1e9 / 8.0
+
+
+def gbps_to_bytes_per_s(value: float) -> float:
+    """Alias of :func:`Gbps` with an explicit name."""
+    return Gbps(value)
+
+
+def bytes_to_mb(nbytes: float) -> float:
+    """Bytes -> decimal megabytes (the unit used in paper Tables 1 and 3)."""
+    return nbytes / MB
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Format a byte count compactly, e.g. ``'252.5 MB'``."""
+    if nbytes < 0:
+        return "-" + fmt_bytes(-nbytes)
+    for unit, name in ((GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if nbytes >= unit:
+            return f"{nbytes / unit:.1f} {name}"
+    return f"{nbytes:.0f} B"
+
+
+def fmt_duration(seconds: float) -> str:
+    """Format a duration compactly, e.g. ``'12.3 ms'``."""
+    if seconds < 0:
+        return "-" + fmt_duration(-seconds)
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.2f} us"
+    return f"{seconds * 1e9:.1f} ns"

@@ -1,0 +1,38 @@
+"""Argument-validation helpers shared across the library.
+
+These raise early, with the offending name and value in the message, so that
+misconfigured experiments fail at construction time instead of deep inside a
+simulation run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Container
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it for fluent use."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it for fluent use."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``; return it for fluent use."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in(name: str, value: object, allowed: Container) -> object:
+    """Require ``value in allowed``; return it for fluent use."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value

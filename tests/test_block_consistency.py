@@ -1,0 +1,81 @@
+"""Consistency between the structural block decomposition (used by the
+simulator) and the actual runnable models.
+
+If the BlockSpec parameter counts drifted from what the numpy models
+really allocate, every simulated communication payload would be wrong —
+so the two are pinned against each other here at identical configs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BERT_BASE,
+    GNMT8,
+    LM,
+    TRANSFORMER,
+    block_specs,
+    build_model,
+)
+from repro.models.blocks import DENSE, EMBEDDING
+
+
+def spec_count(cfg, kind=None):
+    return sum(
+        b.param_count
+        for b in block_specs(cfg)
+        if kind is None or b.kind == kind
+    )
+
+
+class TestBlockSpecVsRunnableModel:
+    @pytest.mark.parametrize("paper_cfg", [LM, GNMT8],
+                             ids=["LM", "GNMT-8"])
+    def test_exact_param_counts_rnn_models(self, paper_cfg):
+        cfg = paper_cfg.tiny()
+        model = build_model(cfg)
+        assert spec_count(cfg) == model.num_parameters()
+
+    def test_exact_param_counts_transformer(self):
+        cfg = TRANSFORMER.tiny()
+        model = build_model(cfg)
+        assert spec_count(cfg) == model.num_parameters()
+
+    def test_bert_param_counts_close(self):
+        # BERT's embedding post-processing block approximates the learned
+        # position/type embeddings with linear descriptors; allow 2%.
+        cfg = BERT_BASE.tiny()
+        model = build_model(cfg)
+        assert spec_count(cfg) == pytest.approx(model.num_parameters(), rel=0.02)
+
+    @pytest.mark.parametrize("paper_cfg", [LM, GNMT8, TRANSFORMER],
+                             ids=["LM", "GNMT-8", "Transformer"])
+    def test_embedding_split_matches(self, paper_cfg):
+        cfg = paper_cfg.tiny()
+        model = build_model(cfg)
+        spec_sparse = spec_count(cfg, EMBEDDING)
+        model_sparse = sum(p.numel for p in model.sparse_parameters())
+        assert spec_sparse == model_sparse
+
+    @pytest.mark.parametrize("paper_cfg", [LM, GNMT8, TRANSFORMER],
+                             ids=["LM", "GNMT-8", "Transformer"])
+    def test_dense_block_names_align(self, paper_cfg):
+        """Every dense block in the runnable model's decomposition exists
+        in the structural spec with the same parameter count."""
+        cfg = paper_cfg.tiny()
+        model = build_model(cfg)
+        spec_by_name = {b.name: b for b in block_specs(cfg) if b.kind == DENSE}
+        for name, params in model.dense_blocks():
+            assert name in spec_by_name, name
+            got = sum(p.numel for p in params)
+            assert got == spec_by_name[name].param_count, name
+
+    def test_per_block_fp_deps_reachable_in_model(self):
+        """Structural FP deps reference blocks the runnable model also has."""
+        cfg = GNMT8.tiny()
+        model = build_model(cfg)
+        model_blocks = {name for name, _ in model.dense_blocks()}
+        model_blocks |= set(model.embedding_tables())
+        for b in block_specs(cfg):
+            for dep in b.fp_deps:
+                assert dep in model_blocks, (b.name, dep)

@@ -1,0 +1,89 @@
+"""Property-based tests for the collective cost models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import rtx2080_cluster, rtx3090_cluster
+from repro.collectives import CostModel, OmniReduceModel
+
+
+def any_cluster(nodes, gpus, kind):
+    make = rtx3090_cluster if kind else rtx2080_cluster
+    return make(num_nodes=nodes, gpus_per_node=gpus)
+
+
+cluster_strategy = st.builds(
+    any_cluster,
+    nodes=st.integers(1, 4),
+    gpus=st.integers(1, 4),
+    kind=st.booleans(),
+)
+
+payload_strategy = st.floats(0, 1e9, allow_nan=False)
+
+
+class TestCostModelProperties:
+    @given(cluster_strategy, payload_strategy, payload_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_payload(self, cluster, a, b):
+        """Bigger payloads never cost less, for every collective."""
+        lo, hi = min(a, b), max(a, b)
+        m = CostModel(cluster)
+        for op in (m.allreduce, m.alltoall, m.allgather, m.parameter_server,
+                   m.broadcast, m.reduce_scatter):
+            assert op(hi).seconds >= op(lo).seconds - 1e-15
+
+    @given(cluster_strategy, payload_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_costs_non_negative(self, cluster, payload):
+        m = CostModel(cluster)
+        for op in (m.allreduce, m.alltoall, m.allgather, m.parameter_server):
+            cost = op(payload)
+            assert cost.seconds >= 0
+            assert cost.wire_bytes >= 0
+            assert cost.num_messages >= 0
+
+    @given(payload_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_alltoall_cheaper_than_allgather_multi_worker(self, payload):
+        """Same sparse payload: pairwise redistribution moves ~1/N the
+        bytes an allgather does."""
+        m = CostModel(rtx3090_cluster(4, 1))
+        assert m.alltoall(payload).wire_bytes <= m.allgather(payload).wire_bytes
+
+    @given(st.floats(1e3, 1e9))
+    @settings(max_examples=40, deadline=None)
+    def test_allgather_time_grows_with_world(self, payload):
+        t = [
+            CostModel(rtx3090_cluster(n, 4)).allgather(payload).seconds
+            for n in (1, 2, 4)
+        ]
+        assert t[0] <= t[1] <= t[2]
+
+    @given(st.floats(0.0, 1.0), st.floats(1e6, 1e9))
+    @settings(max_examples=40, deadline=None)
+    def test_omnireduce_between_zero_and_dense(self, density, nbytes):
+        c = rtx3090_cluster(4, 1)
+        omni = OmniReduceModel(c)
+        full = omni.allreduce(nbytes, 1.0)
+        sparse = omni.allreduce(nbytes, density)
+        assert 0 <= sparse.seconds <= full.seconds + 1e-12
+
+    @given(cluster_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_symbolic_table2_ordering(self, cluster):
+        """At alpha < N/(2(N-1)) ~ 0.5, AlltoAll <= each alternative."""
+        m = CostModel(cluster)
+        if m.N == 1:
+            return
+        t = m.table2_symbolic(1e8, alpha=0.3)
+        assert t["AlltoAll"] <= t["AllReduce"] + 1e-12
+        assert t["AlltoAll"] <= t["PS"] + 1e-12
+
+    @given(cluster_strategy, st.floats(1e3, 1e8))
+    @settings(max_examples=30, deadline=None)
+    def test_ring_bandwidth_at_least_pairwise(self, cluster, payload):
+        m = CostModel(cluster)
+        assert m.B_ring >= m.B_pairwise

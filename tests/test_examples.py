@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Each example is executed as a subprocess with small arguments; these
+tests guard the user-facing entry points against API drift.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_comm_cost_explorer(self):
+        out = run_example("comm_cost_explorer.py", "--nodes", "2", "--gpus", "4")
+        assert "crossover" in out or "best method" in out or "overtakes" in out
+
+    def test_comm_cost_explorer_single_gpu_nodes(self):
+        out = run_example("comm_cost_explorer.py", "--nodes", "4", "--gpus", "1")
+        assert "omnireduce" in out
+
+    def test_timeline_explorer(self):
+        out = run_example(
+            "timeline_explorer.py", "--model", "GNMT-8", "--world", "8"
+        )
+        assert "EmbRace" in out and "step" in out
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "bit-identical to fused: True" in out
+        assert "final weights bit-identical: True" in out
+        assert "EmbRace" in out
+
+    def test_convergence_equivalence(self):
+        out = run_example("convergence_equivalence.py", "--steps", "6")
+        assert "Curves exactly identical: True" in out
+
+    def test_scaling_study_one_model(self):
+        out = run_example("scaling_study.py", "--models", "BERT-base")
+        assert "4->16 scaling" in out
+
+    def test_compression_study(self):
+        out = run_example("compression_study.py", "--steps", "4")
+        assert "less traffic" in out
+
+    @pytest.mark.parametrize("args", [["--world", "2", "--steps", "3"]])
+    def test_translation_embrace(self, args):
+        out = run_example("translation_embrace.py", *args)
+        assert "bit-identical across strategies: True" in out

@@ -1,0 +1,130 @@
+"""Tests for the experiment modules (fast ones run fully; heavy ones
+are covered by the benchmark suite and smoke-tested here)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    fig1,
+    fig4,
+    fig6,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.base import ExperimentResult as BaseResult
+from repro.experiments.harness import ALL_EXPERIMENTS, render_markdown
+from repro.experiments.paper_values import (
+    FIG7_SPEEDUPS,
+    MODEL_SPARSITY,
+    TABLE1,
+    TABLE3,
+)
+
+
+class TestExperimentResult:
+    def test_render_structure(self):
+        r = ExperimentResult(
+            exp_id="Table X", title="demo", tables=["a | b"], findings=["it holds"]
+        )
+        out = r.render()
+        assert out.startswith("## Table X: demo")
+        assert "```" in out and "- it holds" in out
+
+    def test_render_without_findings(self):
+        r = ExperimentResult(exp_id="F", title="t")
+        assert "Findings" not in r.render()
+
+
+class TestTable1:
+    def test_within_tolerance(self):
+        r = table1.run()
+        for name, (p_total, p_emb, _) in TABLE1.items():
+            assert r.data[name]["total_mb"] == pytest.approx(p_total, rel=0.05)
+            assert r.data[name]["embedding_mb"] == pytest.approx(p_emb, rel=0.05)
+
+    def test_findings_positive(self):
+        r = table1.run()
+        assert any("True" in f for f in r.findings)
+
+
+class TestTable2:
+    def test_alltoall_dominates_symbolically(self):
+        r = table2.run()
+        for costs in r.data.values():
+            assert costs["AlltoAll"] <= costs["AllReduce"] + 1e-15
+            assert costs["AlltoAll"] <= costs["PS"] + 1e-15
+
+    def test_all_model_sparsities_present(self):
+        r = table2.run()
+        assert set(r.data) == set(MODEL_SPARSITY)
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table3.run(n_steps=4)
+
+    def test_monotone_reductions(self, result):
+        for d in result.data.values():
+            assert d["original_mb"] > d["coalesced_mb"] > d["prior_mb"] > 0
+
+    def test_within_2x_of_paper(self, result):
+        for name, (p_orig, p_coal, p_prior) in TABLE3.items():
+            d = result.data[name]
+            assert 0.5 < d["coalesced_mb"] / p_coal < 2.0, name
+            assert 0.4 < d["prior_mb"] / p_prior < 2.5, name
+
+    def test_bert_largest_coalescing_gain(self, result):
+        gains = {n: d["coalesce_reduction"] for n, d in result.data.items()}
+        assert max(gains, key=gains.get) == "BERT-base"
+        assert min(gains, key=gains.get) == "LM"
+
+
+class TestFig1:
+    def test_byte_asymmetry(self):
+        r = fig1.run()
+        assert r.data["allreduce_bytes"] > r.data["allgather_bytes"] > 0
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4.run()
+
+    def test_crossover_band(self, result):
+        assert 0.30 <= result.data["crossover"] <= 0.55
+
+    def test_4x1_alltoall_everywhere(self, result):
+        sweep = result.data["sweep_b"]
+        others = np.vstack(
+            [sweep[s] for s in ("allreduce", "allgather", "omnireduce", "ps")]
+        )
+        assert np.all(sweep["alltoall"] <= others.min(axis=0) + 1e-12)
+
+
+class TestFig6:
+    def test_monotone_improvement(self):
+        r = fig6.run(world_size=8)
+        t = r.data
+        assert t["(a) Default (FIFO)"] >= t["(b) Horizontal"] >= t["(c) 2D Scheduling"]
+
+
+class TestHarness:
+    def test_registry_covers_all_paper_artifacts(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1", "table2", "table3",
+            "fig1", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+        }
+
+    def test_render_markdown(self):
+        results = [BaseResult(exp_id="Fig 0", title="demo", tables=["x"])]
+        md = render_markdown(results)
+        assert md.startswith("# EXPERIMENTS")
+        assert "## Fig 0: demo" in md
+
+    def test_fig7_paper_bands_complete(self):
+        # One band per (cluster, model).
+        assert len(FIG7_SPEEDUPS) == 8
+        assert all(lo <= hi for lo, hi in FIG7_SPEEDUPS.values())

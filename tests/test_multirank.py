@@ -1,0 +1,92 @@
+"""Multi-rank expansion: symmetric-shortcut validation + straggler study."""
+
+import pytest
+
+from repro.engine.step_simulator import simulate_step
+from repro.engine.trainer_sim import make_context
+from repro.models import GNMT8, LM
+from repro.sim import TaskGraph, execute
+from repro.sim.multirank import NETWORK, expand_to_ranks
+from repro.strategies import ALL_STRATEGIES, EmbRace, HorovodAllGather
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return make_context(GNMT8, "rtx3090", 8)
+
+
+class TestExpansion:
+    def test_task_counts(self, ctx):
+        graph = EmbRace().build_step(ctx)
+        world = 4
+        expanded = expand_to_ranks(graph, world)
+        n_comm = sum(1 for t in graph.tasks.values() if t.resource == "comm")
+        n_compute = len(graph) - n_comm
+        assert len(expanded) == n_comm + world * n_compute
+
+    def test_resources(self, ctx):
+        expanded = expand_to_ranks(HorovodAllGather().build_step(ctx), 3)
+        resources = expanded.resources()
+        assert NETWORK in resources
+        assert {f"compute:{r}" for r in range(3)} <= resources
+
+    def test_skew_validation(self, ctx):
+        graph = EmbRace().build_step(ctx)
+        with pytest.raises(ValueError):
+            expand_to_ranks(graph, 2, compute_skew=[1.0])
+        with pytest.raises(ValueError):
+            expand_to_ranks(graph, 2, compute_skew=[1.0, 0.0])
+        with pytest.raises(ValueError):
+            expand_to_ranks(graph, 0)
+
+    def test_rejects_unknown_resource(self):
+        g = TaskGraph()
+        g.add_task("weird", 1.0, "gpu7")
+        with pytest.raises(ValueError):
+            expand_to_ranks(g, 2)
+
+
+class TestSymmetricEquivalence:
+    """With unit skew, the explicit multi-rank simulation reproduces the
+    symmetric single-worker makespan — the shortcut the throughput
+    experiments rely on is exact, not an approximation."""
+
+    @pytest.mark.parametrize(
+        "strategy", ["EmbRace", "Horovod-AllGather", "Horovod-AllReduce", "Parallax"]
+    )
+    def test_makespan_identical(self, ctx, strategy):
+        strat = ALL_STRATEGIES[strategy]()
+        symmetric = simulate_step(strat, ctx)
+        expanded = expand_to_ranks(strat.build_step(ctx), world_size=4)
+        trace = execute(expanded)
+        assert trace.makespan == pytest.approx(symmetric.step_time, rel=1e-9)
+
+
+class TestStragglers:
+    def test_one_slow_rank_stalls_everyone(self, ctx):
+        graph = EmbRace().build_step(ctx)
+        base = execute(expand_to_ranks(graph, 4)).makespan
+        straggler = execute(
+            expand_to_ranks(graph, 4, compute_skew=[1.0, 1.0, 1.0, 1.5])
+        ).makespan
+        assert straggler > base
+        # The collective barrier propagates the slowdown to the whole
+        # step, not just 1/4 of it.
+        assert straggler > base * 1.1
+
+    def test_uniform_skew_scales_compute(self, ctx):
+        graph = HorovodAllGather().build_step(ctx)
+        base = execute(expand_to_ranks(graph, 2)).makespan
+        double = execute(expand_to_ranks(graph, 2, compute_skew=[2.0, 2.0])).makespan
+        assert double > base
+
+    def test_fast_ranks_do_not_help(self, ctx):
+        """Synchronous training runs at the slowest worker's pace: making
+        three ranks faster without touching the fourth cannot beat the
+        all-equal makespan."""
+        graph = EmbRace().build_step(ctx)
+        base = execute(expand_to_ranks(graph, 4)).makespan
+        uneven = execute(
+            expand_to_ranks(graph, 4, compute_skew=[0.5, 0.5, 0.5, 1.0])
+        ).makespan
+        assert uneven >= base * 0.99

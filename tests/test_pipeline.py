@@ -1,0 +1,80 @@
+"""Tests for multi-step pipelined simulation."""
+
+import pytest
+
+from repro.engine.trainer_sim import make_context
+from repro.models import GNMT8, LM
+from repro.sim import TaskGraph, execute
+from repro.sim.pipeline import chain_steps, steady_state_step_time
+from repro.strategies import ALL_STRATEGIES, EmbRace, HorovodAllGather
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return make_context(GNMT8, "rtx3090", 16)
+
+
+class TestChainSteps:
+    def test_task_count_scales(self, ctx):
+        graph = EmbRace().build_step(ctx)
+        chained = chain_steps(graph, 3)
+        assert len(chained) == 3 * len(graph)
+
+    def test_single_step_identical(self, ctx):
+        graph = EmbRace().build_step(ctx)
+        single = execute(graph).makespan
+        chained = execute(chain_steps(graph, 1)).makespan
+        assert chained == pytest.approx(single, rel=1e-12)
+
+    def test_cross_step_ordering(self, ctx):
+        """Step k+1's BP of a block never precedes step k's FP of it."""
+        graph = EmbRace().build_step(ctx)
+        trace = execute(chain_steps(graph, 2))
+        for block in ctx.blocks:
+            fp0 = trace.find(f"s0:fp:{block.name}")
+            bp1 = trace.find(f"s1:bp:{block.name}")
+            assert bp1.start >= fp0.end - 1e-12
+
+    def test_validation(self, ctx):
+        graph = EmbRace().build_step(ctx)
+        with pytest.raises(ValueError):
+            chain_steps(graph, 0)
+        with pytest.raises(ValueError):
+            steady_state_step_time(graph, n_steps=1)
+
+    def test_synthetic_graph_pipelines(self):
+        """Comm of step k overlaps compute of step k+1 once chained."""
+        g = TaskGraph()
+        g.add_task("bp:x", 1.0, "compute")
+        g.add_task("comm:x", 2.0, "comm", kind="comm", deps=("bp:x",))
+        g.add_task("fp:x", 1.0, "compute", deps=("bp:x",))
+        # Single step: compute 2.0 serial, comm finishes at 3.0.
+        assert execute(g).makespan == pytest.approx(3.0)
+        # Two steps: step 1's compute hides step 0's trailing comm.
+        per_step, _ = steady_state_step_time(g, n_steps=3)
+        assert per_step < 3.0
+
+
+class TestSteadyState:
+    @pytest.mark.parametrize("strategy", ["EmbRace", "Horovod-AllGather"])
+    def test_steady_state_not_slower_than_single(self, ctx, strategy):
+        graph = ALL_STRATEGIES[strategy]().build_step(ctx)
+        single = execute(graph).makespan
+        steady, _ = steady_state_step_time(graph, n_steps=4)
+        assert steady <= single + 1e-9
+
+    def test_embrace_benefits_from_pipelining(self):
+        """EmbRace's delayed gradients trail into the next BP, so its
+        steady-state step is at least as good as its single-step view."""
+        ctx = make_context(LM, "rtx3090", 16)
+        graph = EmbRace().build_step(ctx)
+        single = execute(graph).makespan
+        steady, _ = steady_state_step_time(graph, n_steps=4)
+        assert steady <= single + 1e-9
+
+    def test_embrace_still_fastest_in_steady_state(self, ctx):
+        times = {}
+        for name in ("EmbRace", "Horovod-AllGather", "Horovod-AllReduce", "Parallax"):
+            graph = ALL_STRATEGIES[name]().build_step(ctx)
+            times[name], _ = steady_state_step_time(graph, n_steps=3)
+        assert times["EmbRace"] == min(times.values())

@@ -1,0 +1,113 @@
+"""Tests for the sampled-softmax head (the LM's second sparse table)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models.base import SampledSoftmax
+from repro.nn import functional as F
+
+RNG = np.random.default_rng(0)
+
+
+def make_head(vocab=20, dim=6, num_sampled=None, seed=1):
+    table = nn.Embedding(vocab, dim, rng=np.random.default_rng(seed))
+    return table, SampledSoftmax(table, num_sampled=num_sampled,
+                                 rng=np.random.default_rng(seed + 1))
+
+
+class TestFullSoftmaxMode:
+    def test_matches_explicit_cross_entropy(self):
+        table, head = make_head()
+        hidden = RNG.normal(size=(3, 4, 6))
+        targets = RNG.integers(1, 20, size=(3, 4))
+        loss = head(hidden, targets, pad_id=0)
+        logits = hidden.reshape(-1, 6) @ table.weight.data.T
+        expected, _, _ = F.cross_entropy(logits, targets.reshape(-1))
+        assert loss == pytest.approx(expected)
+
+    def test_grad_hidden_matches_numerical(self):
+        table, head = make_head(vocab=8, dim=3)
+        hidden = RNG.normal(size=(2, 3))
+        targets = np.array([1, 5])
+        head(hidden, targets, pad_id=0)
+        analytic = head.backward()
+
+        def loss_of(h):
+            t2, h2 = make_head(vocab=8, dim=3)
+            t2.weight.data = table.weight.data
+            return h2(h, targets, pad_id=0)
+
+        eps = 1e-6
+        num = np.zeros_like(hidden)
+        for idx in np.ndindex(hidden.shape):
+            hp, hm = hidden.copy(), hidden.copy()
+            hp[idx] += eps
+            hm[idx] -= eps
+            num[idx] = (loss_of(hp) - loss_of(hm)) / (2 * eps)
+        np.testing.assert_allclose(analytic, num, atol=1e-6, rtol=1e-4)
+
+    def test_table_grad_is_sparse_and_correct(self):
+        table, head = make_head(vocab=6, dim=2)
+        hidden = RNG.normal(size=(4, 2))
+        targets = np.array([1, 2, 1, 5])
+        head(hidden, targets, pad_id=0)
+        head.backward()
+        g = table.weight.grad
+        assert g is not None
+        # Full-vocab mode: gradient covers all candidate rows.
+        assert g.num_rows == 6
+        # Check against dense formula: dW = softmax(HW^T) - onehot scaled.
+        logits = hidden @ table.weight.data.T
+        probs = F.softmax(logits)
+        probs[np.arange(4), targets] -= 1
+        expected = (probs / 4).T @ hidden
+        np.testing.assert_allclose(g.to_dense(), expected, atol=1e-12)
+
+    def test_padding_targets_excluded(self):
+        table, head = make_head()
+        hidden = RNG.normal(size=(3, 6))
+        targets = np.array([0, 4, 0])  # two pads
+        head(hidden, targets, pad_id=0)
+        assert head.last_token_count == 1
+
+
+class TestSampledMode:
+    def test_candidate_set_shrinks_grad(self):
+        table, head = make_head(vocab=1000, dim=4, num_sampled=10)
+        hidden = RNG.normal(size=(5, 4))
+        targets = RNG.integers(1, 1000, size=5)
+        head(hidden, targets, pad_id=0)
+        head.backward()
+        g = table.weight.grad
+        assert 0 < g.nnz_rows <= 10 + 5
+
+    def test_candidates_include_targets(self):
+        table, head = make_head(vocab=50, dim=4, num_sampled=3)
+        hidden = RNG.normal(size=(4, 4))
+        targets = np.array([7, 9, 11, 13])
+        loss = head(hidden, targets, pad_id=0)
+        head.backward()
+        rows = set(table.weight.grad.indices.tolist())
+        assert {7, 9, 11, 13} <= rows
+        assert np.isfinite(loss)
+
+    def test_backward_requires_forward(self):
+        _, head = make_head()
+        with pytest.raises(RuntimeError):
+            head.backward()
+
+    def test_loss_decreases_when_training_head(self):
+        table, head = make_head(vocab=30, dim=8)
+        from repro.optim import Adam
+
+        opt = Adam([table.weight], lr=0.05)
+        hidden = RNG.normal(size=(8, 8))
+        targets = RNG.integers(1, 30, size=8)
+        first = head(hidden, targets, pad_id=0)
+        for _ in range(15):
+            head.backward()
+            opt.step()
+            table.weight.zero_grad()
+            last = head(hidden, targets, pad_id=0)
+        assert last < first

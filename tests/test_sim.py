@@ -1,0 +1,239 @@
+"""Tests for the discrete-event simulation core."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator, Task, TaskGraph, Trace, TraceEntry, execute
+
+
+class TestSimulator:
+    def test_events_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        end = sim.run()
+        assert order == ["a", "b"]
+        assert end == 2.0
+
+    def test_ties_break_by_schedule_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append(1))
+        sim.schedule(1.0, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.0, lambda: sim.schedule(0.5, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [1.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, lambda: hits.append(1))
+        sim.schedule(5.0, lambda: hits.append(2))
+        sim.run(until=2.0)
+        assert hits == [1]
+        assert sim.pending == 1
+
+
+class TestTaskGraph:
+    def test_duplicate_names_rejected(self):
+        g = TaskGraph()
+        g.add_task("a", 1.0, "r")
+        with pytest.raises(ValueError):
+            g.add_task("a", 1.0, "r")
+
+    def test_forward_deps_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.add_task("a", 1.0, "r", deps=("missing",))
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Task("a", -1.0, "r")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Task("a", 1.0, "r", kind="mystery")
+
+    def test_critical_path(self):
+        g = TaskGraph()
+        g.add_task("a", 2.0, "r1")
+        g.add_task("b", 3.0, "r2")
+        g.add_task("c", 1.0, "r1", deps=("a", "b"))
+        assert g.critical_path() == 4.0
+
+    def test_dependents(self):
+        g = TaskGraph()
+        g.add_task("a", 1.0, "r")
+        g.add_task("b", 1.0, "r", deps=("a",))
+        assert g.dependents()["a"] == ["b"]
+
+
+class TestExecute:
+    def test_serial_chain(self):
+        g = TaskGraph()
+        g.add_task("a", 1.0, "r")
+        g.add_task("b", 2.0, "r", deps=("a",))
+        trace = execute(g)
+        assert trace.makespan == 3.0
+        assert trace.find("b").start == 1.0
+
+    def test_parallel_resources_overlap(self):
+        g = TaskGraph()
+        g.add_task("compute1", 2.0, "compute")
+        g.add_task("comm1", 2.0, "comm")
+        trace = execute(g)
+        assert trace.makespan == 2.0
+
+    def test_resource_exclusivity(self):
+        g = TaskGraph()
+        g.add_task("a", 1.0, "r")
+        g.add_task("b", 1.0, "r")
+        trace = execute(g)
+        assert trace.makespan == 2.0
+
+    def test_priority_order_on_contended_resource(self):
+        g = TaskGraph()
+        g.add_task("gate", 0.5, "other")
+        # Both become ready at the same instant; low value = high priority.
+        g.add_task("low_prio", 1.0, "r", priority=10.0, deps=("gate",))
+        g.add_task("high_prio", 1.0, "r", priority=1.0, deps=("gate",))
+        trace = execute(g)
+        assert trace.find("high_prio").start < trace.find("low_prio").start
+
+    def test_fifo_when_priorities_equal(self):
+        g = TaskGraph()
+        g.add_task("gate", 0.5, "other")
+        g.add_task("first", 1.0, "r", deps=("gate",))
+        g.add_task("second", 1.0, "r", deps=("gate",))
+        trace = execute(g)
+        assert trace.find("first").start < trace.find("second").start
+
+    def test_diamond_dependencies(self):
+        g = TaskGraph()
+        g.add_task("root", 1.0, "a")
+        g.add_task("left", 2.0, "a", deps=("root",))
+        g.add_task("right", 3.0, "b", deps=("root",))
+        g.add_task("join", 1.0, "a", deps=("left", "right"))
+        trace = execute(g)
+        assert trace.find("join").start == 4.0
+        assert trace.makespan == 5.0
+
+    def test_zero_duration_tasks(self):
+        g = TaskGraph()
+        g.add_task("a", 0.0, "r")
+        g.add_task("b", 0.0, "r", deps=("a",))
+        assert execute(g).makespan == 0.0
+
+    @given(
+        durations=st.lists(st.floats(0.01, 10), min_size=1, max_size=12),
+        chain=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_bounds(self, durations, chain):
+        """Makespan is at least the critical path and at most the serial sum."""
+        g = TaskGraph()
+        prev = None
+        for i, d in enumerate(durations):
+            deps = (prev,) if (chain and prev) else ()
+            g.add_task(f"t{i}", d, f"r{i % 2}", deps=deps)
+            prev = f"t{i}"
+        trace = execute(g)
+        assert trace.makespan >= g.critical_path() - 1e-9
+        assert trace.makespan <= sum(durations) + 1e-9
+
+
+class TestTrace:
+    def _demo_trace(self):
+        return Trace(
+            [
+                TraceEntry("bp", "compute", "compute", 0.0, 2.0),
+                TraceEntry("comm", "comm", "comm", 2.0, 4.0),
+                TraceEntry("sched", "compute", "overhead", 2.0, 2.5),
+                TraceEntry("fp", "compute", "compute", 4.0, 5.0),
+            ]
+        )
+
+    def test_makespan_and_busy(self):
+        t = self._demo_trace()
+        assert t.makespan == 5.0
+        assert t.busy_time("compute") == 3.5
+        assert t.busy_time("comm") == 2.0
+
+    def test_computation_stall_counts_overhead(self):
+        t = self._demo_trace()
+        # makespan 5.0 - useful compute 3.0 = 2.0 (1.5 idle + 0.5 overhead).
+        assert t.computation_stall() == pytest.approx(2.0)
+
+    def test_overlap_ratio(self):
+        t = self._demo_trace()
+        # exposed comm = stall - overhead = 1.5 of 2.0 comm.
+        assert t.overlap_ratio() == pytest.approx(1 - 1.5 / 2.0)
+
+    def test_overlap_ratio_no_comm(self):
+        t = Trace([TraceEntry("a", "compute", "compute", 0, 1)])
+        assert t.overlap_ratio() == 1.0
+
+    def test_find_missing(self):
+        with pytest.raises(KeyError):
+            self._demo_trace().find("nope")
+
+    def test_render_ascii(self):
+        out = self._demo_trace().render_ascii(width=40)
+        assert "compute" in out and "comm" in out
+        assert "|" in out
+
+    def test_render_empty(self):
+        assert Trace([]).render_ascii() == "(empty trace)"
+
+
+class TestDeadlockDetection:
+    def test_unsatisfiable_graph_raises(self):
+        # Create a cycle by mutating tasks post-hoc (the builder API
+        # cannot express one, so go behind its back).
+        g = TaskGraph()
+        a = g.add_task("a", 1.0, "r")
+        g.add_task("b", 1.0, "r", deps=("a",))
+        object.__setattr__ if False else setattr(a, "deps", ("b",))
+        with pytest.raises(RuntimeError, match="deadlock"):
+            execute(g)
+
+
+class TestTraceGaps:
+    def test_gaps_found(self):
+        t = Trace(
+            [
+                TraceEntry("a", "compute", "compute", 0.0, 1.0),
+                TraceEntry("b", "compute", "compute", 2.0, 3.0),
+                TraceEntry("c", "comm", "comm", 0.0, 4.0),
+            ]
+        )
+        gaps = t.gaps("compute")
+        assert gaps == [(1.0, 2.0), (3.0, 4.0)]
+
+    def test_no_gaps_when_busy(self):
+        t = Trace([TraceEntry("a", "compute", "compute", 0.0, 2.0)])
+        assert t.gaps("compute") == []
+
+    def test_gap_total_matches_stall_for_pure_compute(self):
+        t = Trace(
+            [
+                TraceEntry("bp", "compute", "compute", 0.0, 2.0),
+                TraceEntry("comm", "comm", "comm", 2.0, 4.0),
+                TraceEntry("fp", "compute", "compute", 4.0, 5.0),
+            ]
+        )
+        gap_total = sum(b - a for a, b in t.gaps("compute"))
+        assert gap_total == pytest.approx(t.computation_stall())

@@ -1,0 +1,160 @@
+"""Unit tests for repro.utils."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    GB,
+    MB,
+    Gbps,
+    Table,
+    bytes_to_mb,
+    check_in,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    fmt_bytes,
+    fmt_duration,
+    new_rng,
+    spawn_rngs,
+)
+
+
+class TestUnits:
+    def test_gbps_conversion(self):
+        # 100 Gbps InfiniBand = 12.5 GB/s.
+        assert Gbps(100) == pytest.approx(12.5e9)
+
+    def test_bytes_to_mb_roundtrip(self):
+        assert bytes_to_mb(252.5 * MB) == pytest.approx(252.5)
+
+    def test_fmt_bytes_scales(self):
+        assert fmt_bytes(252.5 * MB) == "252.5 MB"
+        assert fmt_bytes(3.2 * GB) == "3.2 GB"
+        assert fmt_bytes(10) == "10 B"
+        assert fmt_bytes(-2 * MB).startswith("-")
+
+    def test_fmt_duration_scales(self):
+        assert fmt_duration(1.5) == "1.500 s"
+        assert "ms" in fmt_duration(0.012)
+        assert "us" in fmt_duration(1.2e-5)
+        assert "ns" in fmt_duration(5e-8)
+
+
+class TestRng:
+    def test_new_rng_deterministic(self):
+        a = new_rng(7).random(5)
+        b = new_rng(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(0, 3)
+        draws = [r.random(4) for r in rngs]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_spawn_rngs_reproducible(self):
+        a = [r.random(3) for r in spawn_rngs(42, 2)]
+        b = [r.random(3) for r in spawn_rngs(42, 2)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_spawn_rngs_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["model", "size"])
+        t.add_row(["LM", 3186.5])
+        t.add_row(["BERT-base", 417.7])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("model")
+        assert "-+-" in lines[1]
+        assert "3186" in out and "417.7" in out
+
+    def test_row_width_mismatch(self):
+        t = Table(["a"])
+        with pytest.raises(ValueError):
+            t.add_row([1, 2])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_title_prepended(self):
+        t = Table(["x"], title="Table 1")
+        t.add_row([1])
+        assert t.render().splitlines()[0] == "Table 1"
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 1.0) == 1.0
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0.0) == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_check_in(self):
+        assert check_in("mode", "a", {"a", "b"}) == "a"
+        with pytest.raises(ValueError):
+            check_in("mode", "c", {"a", "b"})
+
+
+class TestPlot:
+    def test_line_chart_renders_all_series(self):
+        from repro.utils.plot import line_chart
+
+        out = line_chart({"a": [1, 2, 3], "b": [3, 2, 1]}, width=20, height=5)
+        assert "*" in out and "o" in out
+        assert "a" in out and "b" in out
+
+    def test_line_chart_flat_series(self):
+        from repro.utils.plot import line_chart
+
+        out = line_chart({"flat": [5.0, 5.0, 5.0]}, width=10, height=4)
+        assert "*" in out
+
+    def test_line_chart_validation(self):
+        from repro.utils.plot import line_chart
+
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"x": []})
+        with pytest.raises(ValueError):
+            line_chart({"x": [1]}, width=0)
+
+    def test_bar_chart(self):
+        from repro.utils.plot import bar_chart
+
+        out = bar_chart({"EmbRace": 100.0, "Baseline": 50.0}, width=20)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+        assert "100" in lines[0]
+
+    def test_bar_chart_validation(self):
+        from repro.utils.plot import bar_chart
+
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"x": -1.0})
+
+    def test_bar_chart_zero_peak(self):
+        from repro.utils.plot import bar_chart
+
+        out = bar_chart({"x": 0.0})
+        assert "#" not in out
