@@ -1,0 +1,40 @@
+"""Bench: fault-injection degradation curves & crash recovery.
+
+See :func:`repro.experiments.faults.run_faults` — one seeded FaultPlan
+per fault level drives the simulator grid, the real-backend endpoints,
+and a checkpointed crash recovery.
+"""
+
+from conftest import report
+
+from repro.experiments.faults import (
+    FAULT_DROPS,
+    FAULT_REAL_STRATEGIES,
+    FAULT_SIM_STRATEGIES,
+    FAULT_STRAGGLERS,
+    run_faults,
+)
+
+
+def test_fault_degradation(benchmark):
+    result = benchmark.pedantic(run_faults, rounds=1, iterations=1)
+    report(result)
+    sim, real = result.data["sim"], result.data["real"]
+    grids = (("straggler", FAULT_STRAGGLERS), ("drop", FAULT_DROPS))
+    for name in FAULT_SIM_STRATEGIES:
+        for axis, levels in grids:
+            curve = [sim[name][axis][lv] for lv in levels]
+            # Simulated throughput falls monotonically with the fault level.
+            assert all(b <= a + 1e-9 for a, b in zip(curve, curve[1:])), (name, axis)
+    for axis, levels in grids:
+        for lv in levels:
+            # EmbRace keeps its healthy-cluster ranking at every level.
+            assert sim["EmbRace"][axis][lv] > sim["Horovod-AllGather"][axis][lv]
+    for name in FAULT_REAL_STRATEGIES:
+        for axis, levels in grids:
+            # The real backend degrades in the same direction (endpoints).
+            assert real[name][axis][levels[-1]] < real[name][axis][levels[0]], (
+                name, axis)
+    recovery = result.data["recovery"]
+    assert recovery["attempts"] == 2
+    assert recovery["loss_equal"]

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Fault injection end to end: break the cluster, watch it survive.
+
+Three acts, all driven by the same declarative ``FaultPlan``:
+
+1. a seeded plan (straggler + lossy wire) is serialized to JSON and
+   injected into the *simulator* — step-time degradation at paper scale;
+2. the identical plan is injected into the *real* thread backend — the
+   collectives actually retransmit dropped messages and reorder delayed
+   ones, and the run still produces bit-correct sums;
+3. a rank crash is injected mid-run into real training —
+   ``train_resilient`` restores from the latest checkpoint and finishes
+   with the exact losses of an uninterrupted run.
+
+Run:  python examples/fault_study.py [--world 2] [--steps 6]
+"""
+
+import argparse
+import tempfile
+
+import numpy as np
+
+from repro.engine.trainer_real import RealTrainer
+from repro.engine.trainer_sim import make_context
+from repro.faults import FaultPlan, RetryPolicy, degraded_step_time, run_threaded_with_faults
+from repro.models import GNMT8
+from repro.strategies import ALL_STRATEGIES
+from repro.utils.tables import Table
+
+
+def act1_simulator(plan: FaultPlan, world: int) -> None:
+    print("=" * 66)
+    print("Act 1 — the plan, serialized, driving the simulator")
+    print("=" * 66)
+    print(plan.to_json())
+    table = Table(
+        ["strategy", "healthy step (ms)", "faulty step (ms)", "slowdown"],
+        title=f"GNMT-8 step time, {world} simulated ranks under the plan",
+    )
+    ctx = make_context(GNMT8, "rtx3090", 16)
+    for name in ("Horovod-AllGather", "EmbRace"):
+        graph = ALL_STRATEGIES[name]().build_step(ctx)
+        healthy = degraded_step_time(graph, world, FaultPlan(seed=plan.seed))
+        faulty = degraded_step_time(graph, world, plan)
+        table.add_row(
+            [name, f"{healthy * 1e3:.1f}", f"{faulty * 1e3:.1f}",
+             f"{faulty / healthy:.2f}x"]
+        )
+    print(table.render())
+
+
+def act2_real_backend(plan: FaultPlan, world: int) -> None:
+    print()
+    print("=" * 66)
+    print("Act 2 — the same plan on the real backend (faults on the wire)")
+    print("=" * 66)
+
+    def fn(comm):
+        for _ in range(20):  # enough traffic for the faults to show up
+            out = comm.allreduce(np.arange(8.0) * (comm.rank + 1))
+        return out, comm.stats.as_dict()
+
+    results = run_threaded_with_faults(world, fn, plan)
+    expected = np.arange(8.0) * sum(range(1, world + 1))
+    correct = all(np.allclose(data, expected) for data, _ in results)
+    for rank, (_, stats) in enumerate(results):
+        print(f"rank {rank}: sent={stats['sent']:3d}  "
+              f"retransmits={stats['retransmits']:2d}  "
+              f"delayed={stats['delayed']:2d}  reordered={stats['reordered']:2d}")
+    print(f"AllReduce still bit-correct under fire: {correct}")
+
+
+def act3_crash_recovery(world: int, steps: int, seed: int) -> None:
+    print()
+    print("=" * 66)
+    print(f"Act 3 — rank 1 crashes at step {steps - 1}; recovery from checkpoint")
+    print("=" * 66)
+    config = GNMT8.tiny()
+    kwargs = dict(strategy="allgather", world_size=world, steps=steps, seed=seed)
+    clean = RealTrainer(config, **kwargs).train()
+    plan = FaultPlan(seed=seed, crashes={1: steps - 1}, recv_deadline=2.0)
+    resilient = RealTrainer(
+        config, fault_plan=plan, checkpoint_every=2,
+        checkpoint_dir=tempfile.mkdtemp(prefix="fault-study-"), **kwargs,
+    ).train_resilient()
+    rep = resilient.report
+    print(f"attempts={rep.attempts}  crash_events={rep.crash_events}  "
+          f"restored_from_step={rep.restore_steps}  replayed={rep.steps_replayed}")
+    print(f"final loss  (recovered)     : {resilient.result.losses[-1]:.6f}")
+    print(f"final loss  (uninterrupted) : {clean.losses[-1]:.6f}")
+    print(f"entire loss curve bit-equal : {resilient.result.losses == clean.losses}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--world", type=int, default=2)
+    parser.add_argument("--steps", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    plan = FaultPlan(
+        seed=args.seed,
+        stragglers={0: 1.5},
+        delay_prob=0.2,
+        delay_s=0.002,
+        drop_prob=0.2,
+        reorder_prob=0.2,
+        reorder_s=0.002,
+        recv_deadline=10.0,
+        retry=RetryPolicy(max_retries=10, base_backoff=0.001, max_backoff=0.01),
+    )
+    act1_simulator(plan, args.world)
+    act2_real_backend(plan, args.world)
+    act3_crash_recovery(args.world, args.steps, args.seed)
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Any, Callable
 
 from repro.comm.backend import Communicator
@@ -85,14 +86,26 @@ def run_threaded(
             group._barrier.abort()
 
     threads = [
-        threading.Thread(target=worker, args=(r,), name=f"rank{r}")
+        threading.Thread(target=worker, args=(r,), name=f"rank{r}", daemon=True)
         for r in range(world_size)
     ]
     for t in threads:
         t.start()
+    # Every blocking primitive observes the group timeout, so a healthy
+    # group finishes (or errors out) well inside a few multiples of it;
+    # derive the join deadline from it instead of a hard-coded constant.
+    join_budget = 5.0 * timeout
+    deadline = time.monotonic() + join_budget
     for t in threads:
-        t.join(timeout=300.0)
+        t.join(timeout=max(0.0, deadline - time.monotonic()))
     if errors:
         rank, exc = errors[0]
         raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+    alive = [t.name for t in threads if t.is_alive()]
+    if alive:
+        raise RuntimeError(
+            f"worker threads still alive after {join_budget:.1f}s "
+            f"(5x the {timeout}s group timeout): {', '.join(alive)} — "
+            "refusing to return partial results"
+        )
     return results

@@ -9,30 +9,41 @@ backend is faster to spin up for tests.
 from __future__ import annotations
 
 import multiprocessing as mp
+import queue
+import time
 from typing import Any, Callable
 
 from repro.comm.backend import Communicator
 from repro.utils.validation import check_positive
 
+DEFAULT_TIMEOUT = 120.0
+
 
 class ProcessCommunicator(Communicator):
-    def __init__(self, rank, world_size, inboxes, barrier):
+    def __init__(self, rank, world_size, inboxes, barrier, timeout=DEFAULT_TIMEOUT):
         super().__init__(rank, world_size)
         self._inboxes = inboxes  # inboxes[dst][src]
         self._barrier = barrier
+        self.timeout = timeout
 
     def _send(self, dst: int, obj: Any) -> None:
         self._inboxes[dst][self.rank].put(obj)
 
     def _recv(self, src: int) -> Any:
-        return self._inboxes[self.rank][src].get(timeout=120.0)
+        try:
+            return self._inboxes[self.rank][src].get(timeout=self.timeout)
+        except queue.Empty:
+            raise TimeoutError(
+                f"rank {self.rank}: no message from rank {src} within "
+                f"{self.timeout}s (peer dead or deadlocked?)"
+            ) from None
 
     def barrier(self) -> None:
-        self._barrier.wait(timeout=120.0)
+        self._barrier.wait(timeout=self.timeout)
 
 
-def _worker(rank, world_size, inboxes, barrier, fn, args, kwargs, result_queue):
-    comm = ProcessCommunicator(rank, world_size, inboxes, barrier)
+def _worker(rank, world_size, inboxes, barrier, timeout, fn, args, kwargs, result_queue):
+    comm = ProcessCommunicator(rank, world_size, inboxes, barrier, timeout=timeout)
     try:
         result = fn(comm, *args, **kwargs)
         result_queue.put((rank, "ok", result))
@@ -41,11 +52,19 @@ def _worker(rank, world_size, inboxes, barrier, fn, args, kwargs, result_queue):
 
 
 class ProcessGroup:
-    """Launches workers as real processes (fork start method)."""
+    """Launches workers as real processes (fork start method).
 
-    def __init__(self, world_size: int):
+    ``timeout`` bounds every blocking receive/barrier in the workers
+    (mirroring :class:`~repro.comm.local.ThreadGroup`); the parent's
+    wait for results is derived from it, so a dead worker surfaces as an
+    error instead of a parent hang.
+    """
+
+    def __init__(self, world_size: int, timeout: float = DEFAULT_TIMEOUT):
         check_positive("world_size", world_size)
+        check_positive("timeout", timeout)
         self.world_size = world_size
+        self.timeout = timeout
         self._ctx = mp.get_context("fork")
 
     def run(self, fn: Callable[[Communicator], Any], *args, **kwargs) -> list[Any]:
@@ -59,7 +78,8 @@ class ProcessGroup:
         procs = [
             ctx.Process(
                 target=_worker,
-                args=(r, self.world_size, inboxes, barrier, fn, args, kwargs, result_queue),
+                args=(r, self.world_size, inboxes, barrier, self.timeout,
+                      fn, args, kwargs, result_queue),
             )
             for r in range(self.world_size)
         ]
@@ -67,16 +87,31 @@ class ProcessGroup:
             p.start()
         results: list[Any] = [None] * self.world_size
         failures = []
-        for _ in range(self.world_size):
-            rank, status, payload = result_queue.get(timeout=300.0)
-            if status == "ok":
-                results[rank] = payload
-            else:
-                failures.append((rank, payload))
-        for p in procs:
-            p.join(timeout=30.0)
-            if p.is_alive():  # pragma: no cover - defensive cleanup
-                p.terminate()
+        reported: set[int] = set()
+        # Workers abort within `timeout` of a peer failure; 2.5x leaves
+        # room for result marshalling (300s at the 120s default).
+        deadline = time.monotonic() + 2.5 * self.timeout
+        try:
+            for _ in range(self.world_size):
+                remaining = max(0.01, deadline - time.monotonic())
+                try:
+                    rank, status, payload = result_queue.get(timeout=remaining)
+                except queue.Empty:
+                    missing = sorted(set(range(self.world_size)) - reported)
+                    raise RuntimeError(
+                        f"no result from ranks {missing} within "
+                        f"{2.5 * self.timeout:.0f}s (worker dead or deadlocked?)"
+                    ) from None
+                reported.add(rank)
+                if status == "ok":
+                    results[rank] = payload
+                else:
+                    failures.append((rank, payload))
+        finally:
+            for p in procs:
+                p.join(timeout=self.timeout)
+                if p.is_alive():  # pragma: no cover - defensive cleanup
+                    p.terminate()
         if failures:
             rank, err = failures[0]
             raise RuntimeError(f"rank {rank} failed: {err}")
@@ -84,7 +119,11 @@ class ProcessGroup:
 
 
 def run_multiprocess(
-    world_size: int, fn: Callable[[Communicator], Any], *args, **kwargs
+    world_size: int,
+    fn: Callable[[Communicator], Any],
+    *args,
+    timeout: float = DEFAULT_TIMEOUT,
+    **kwargs,
 ) -> list[Any]:
     """Run ``fn(comm, *args)`` on ``world_size`` processes; results in rank order."""
-    return ProcessGroup(world_size).run(fn, *args, **kwargs)
+    return ProcessGroup(world_size, timeout=timeout).run(fn, *args, **kwargs)

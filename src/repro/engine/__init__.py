@@ -14,7 +14,12 @@
 from repro.engine.workload import WorkloadStats, measure_workload
 from repro.engine.step_simulator import StepReport, simulate_step
 from repro.engine.trainer_sim import ThroughputResult, simulate_training
-from repro.engine.trainer_real import RealTrainer, TrainResult
+from repro.engine.trainer_real import (
+    RealTrainer,
+    ResilienceReport,
+    ResilientTrainResult,
+    TrainResult,
+)
 
 __all__ = [
     "WorkloadStats",
@@ -24,5 +29,7 @@ __all__ = [
     "ThroughputResult",
     "simulate_training",
     "RealTrainer",
+    "ResilienceReport",
+    "ResilientTrainResult",
     "TrainResult",
 ]

@@ -18,15 +18,27 @@ from repro.nn.module import Module
 from repro.optim.base import Optimizer
 
 _STATE_PREFIX = "optstate"
+_EXTRA_PREFIX = "extra"
 
 
 def save_checkpoint(
-    path: str, model: Module, optimizer: Optimizer | None = None, step: int = 0
+    path: str,
+    model: Module,
+    optimizer: Optimizer | None = None,
+    step: int = 0,
+    extras: dict[str, np.ndarray] | None = None,
 ) -> None:
-    """Write model (and optionally optimizer) state to ``path`` atomically."""
+    """Write model (and optionally optimizer) state to ``path`` atomically.
+
+    ``extras`` holds arbitrary named arrays riding along with the model
+    state (loss history, sharded-optimizer moments, …); read them back
+    with :func:`load_extras`.
+    """
     arrays: dict[str, np.ndarray] = {"__step__": np.array(step, dtype=np.int64)}
     for name, p in model.named_parameters():
         arrays[f"param/{name}"] = p.data
+    for name, value in (extras or {}).items():
+        arrays[f"{_EXTRA_PREFIX}/{name}"] = np.asarray(value)
     if optimizer is not None:
         for pi, p in enumerate(optimizer.params):
             st = optimizer.state_for(p)
@@ -66,4 +78,21 @@ def load_checkpoint(
                     key = name[len(prefix) :]
                     value = archive[name]
                     st[key] = int(value) if value.ndim == 0 else value.copy()
+        return int(archive["__step__"])
+
+
+def load_extras(path: str) -> dict[str, np.ndarray]:
+    """The ``extras`` arrays stored by :func:`save_checkpoint` (possibly empty)."""
+    prefix = f"{_EXTRA_PREFIX}/"
+    with np.load(path) as archive:
+        return {
+            name[len(prefix):]: archive[name].copy()
+            for name in archive.files
+            if name.startswith(prefix)
+        }
+
+
+def peek_step(path: str) -> int:
+    """The step counter of a checkpoint, without loading anything else."""
+    with np.load(path) as archive:
         return int(archive["__step__"])

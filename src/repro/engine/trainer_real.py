@@ -33,6 +33,10 @@ possible version of the paper's Fig. 11 convergence claim, asserted in
 
 from __future__ import annotations
 
+import os
+import tempfile
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -42,7 +46,14 @@ from repro.comm import (
     allreduce_sparse_via_allgather,
     run_threaded,
 )
+from repro.engine.checkpoint import (
+    load_checkpoint,
+    load_extras,
+    peek_step,
+    save_checkpoint,
+)
 from repro.engine.embrace_runtime import EmbraceTableRuntime
+from repro.faults import CommFailure, FaultPlan, FaultyCommunicator, RankCrashed
 from repro.optim import EmbraceAdam
 from repro.data import Prefetcher
 from repro.engine.workload import batch_stream
@@ -50,6 +61,9 @@ from repro.models.config import ModelConfig
 from repro.models.registry import build_model
 from repro.tensors import SparseRows
 from repro.utils.validation import check_in, check_positive
+
+#: Group timeout of fault-free real training runs.
+DEFAULT_GROUP_TIMEOUT = 60.0
 
 
 @dataclass
@@ -64,6 +78,36 @@ class TrainResult:
     comm_bytes: int = 0
     predictions: list[np.ndarray] = field(default_factory=list)
     val_losses: list[float] = field(default_factory=list)  # one per eval point
+
+
+@dataclass
+class ResilienceReport:
+    """What it took to finish a :meth:`RealTrainer.train_resilient` run.
+
+    ``crash_events`` lists the (rank, step) failures survived;
+    ``restore_steps`` the checkpoint step each restart resumed from;
+    ``steps_replayed`` the training steps lost and re-executed;
+    ``recovery_wall_s`` the wall-clock seconds spent in failed attempts.
+    """
+
+    attempts: int
+    crash_events: list[tuple[int | None, int]]
+    restore_steps: list[int]
+    steps_replayed: int
+    recovery_wall_s: float
+    checkpoint_path: str
+
+    @property
+    def recovered(self) -> bool:
+        return bool(self.crash_events)
+
+
+@dataclass
+class ResilientTrainResult:
+    """A completed training run plus its resilience accounting."""
+
+    result: TrainResult
+    report: ResilienceReport
 
 
 class RealTrainer:
@@ -82,12 +126,26 @@ class RealTrainer:
         dgc_ratio: float | None = None,
         eval_every: int | None = None,
         eval_batches: int = 2,
+        fault_plan: FaultPlan | None = None,
+        checkpoint_every: int = 0,
+        checkpoint_dir: str | None = None,
+        max_restarts: int = 4,
     ):
         """``dgc_ratio`` (optional) enables Deep-Gradient-Compression on
         the *dense* gradients: each rank top-k sparsifies with error
         feedback, the selections travel by AllGather (compressed
         gradients are non-associative, §2.2) and are summed after
-        decoding.  Orthogonal to the sparse-communication strategy."""
+        decoding.  Orthogonal to the sparse-communication strategy.
+
+        ``fault_plan`` (optional) injects faults from
+        :mod:`repro.faults` into the run: every rank's communicator is
+        wrapped in a :class:`~repro.faults.FaultyCommunicator` and the
+        forward/backward pass is stretched by the rank's straggler
+        factor.  Plans with crashes should be run through
+        :meth:`train_resilient` (``checkpoint_every`` steps between
+        checkpoints, at most ``max_restarts`` recoveries), which
+        survives them; plain :meth:`train` lets the failure propagate.
+        """
         check_in("strategy", strategy, {"allgather", "allreduce", "embrace"})
         check_positive("world_size", world_size)
         check_positive("steps", steps)
@@ -96,6 +154,9 @@ class RealTrainer:
         if eval_every is not None:
             check_positive("eval_every", eval_every)
             check_positive("eval_batches", eval_batches)
+        if checkpoint_every < 0:
+            raise ValueError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
+        check_positive("max_restarts", max_restarts)
         self.config = config
         self.strategy = strategy
         self.world_size = world_size
@@ -107,27 +168,151 @@ class RealTrainer:
         self.dgc_ratio = dgc_ratio
         self.eval_every = eval_every
         self.eval_batches = eval_batches
+        self.fault_plan = fault_plan
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = checkpoint_dir
+        self.max_restarts = max_restarts
 
     # ------------------------------------------------------------------ #
+    def _group_timeout(self) -> float:
+        if self.fault_plan is not None:
+            return self.fault_plan.recv_deadline
+        return DEFAULT_GROUP_TIMEOUT
+
     def train(self) -> TrainResult:
-        results = run_threaded(self.world_size, self._worker)
+        results = run_threaded(
+            self.world_size, self._worker, timeout=self._group_timeout()
+        )
         return results[0]
 
     # ------------------------------------------------------------------ #
-    def _worker(self, comm: Communicator) -> TrainResult:
+    def train_resilient(self) -> ResilientTrainResult:
+        """Train to completion, surviving :class:`CommFailure` s.
+
+        Rank 0 checkpoints the full (model + optimizer + EmbRace shard
+        state + metric history) state every ``checkpoint_every`` steps;
+        when an attempt dies — an injected rank crash, a lost message, a
+        peer timeout — the group is relaunched from the latest
+        checkpoint.  Because streams, updates, and restores are all
+        deterministic, the stitched run is bit-identical to an
+        uninterrupted one (asserted in ``tests/test_faults.py``); the
+        attached :class:`ResilienceReport` accounts for what the
+        recovery cost.  ``predictions`` are only kept for steps executed
+        by the final attempt.
+        """
+        if self.checkpoint_every < 1:
+            raise ValueError("train_resilient requires checkpoint_every >= 1")
+        plan = self.fault_plan if self.fault_plan is not None else FaultPlan()
+        ckpt_dir = self.checkpoint_dir or tempfile.mkdtemp(prefix="repro-ckpt-")
+        os.makedirs(ckpt_dir, exist_ok=True)
+        path = os.path.join(ckpt_dir, "resilient.npz")
+        if os.path.exists(path):
+            os.unlink(path)  # a stale checkpoint would hide the early steps
+
+        original_plan = self.fault_plan
+        active = plan
+        attempts = 0
+        crash_events: list[tuple[int | None, int]] = []
+        restore_steps: list[int] = []
+        steps_replayed = 0
+        lost_wall = 0.0
+        try:
+            while True:
+                attempts += 1
+                start = peek_step(path) if os.path.exists(path) else 0
+                started_at = time.perf_counter()
+                self.fault_plan = active
+                try:
+                    results = run_threaded(
+                        self.world_size,
+                        self._worker,
+                        start,
+                        path,
+                        timeout=active.recv_deadline,
+                    )
+                    result = results[0]
+                    break
+                except RuntimeError as exc:
+                    lost_wall += time.perf_counter() - started_at
+                    if attempts > self.max_restarts:
+                        raise CommFailure(
+                            f"giving up after {attempts} attempts: {exc}"
+                        ) from exc
+                    fired_rank, fired_step = self._diagnose_failure(exc, active, start)
+                    crash_events.append((fired_rank, fired_step))
+                    # Where the *next* attempt will resume from: a fresh
+                    # checkpoint may have landed during the failed attempt.
+                    resume = peek_step(path) if os.path.exists(path) else 0
+                    restore_steps.append(resume)
+                    steps_replayed += max(0, fired_step - resume)
+                    active = active.without_crashes_at_or_before(fired_step)
+        finally:
+            self.fault_plan = original_plan
+        report = ResilienceReport(
+            attempts=attempts,
+            crash_events=crash_events,
+            restore_steps=restore_steps,
+            steps_replayed=steps_replayed,
+            recovery_wall_s=lost_wall,
+            checkpoint_path=path,
+        )
+        return ResilientTrainResult(result=result, report=report)
+
+    @staticmethod
+    def _diagnose_failure(
+        exc: RuntimeError, plan: FaultPlan, start: int
+    ) -> tuple[int | None, int]:
+        """Which (rank, step) brought the attempt down.
+
+        An injected crash carries its coordinates; otherwise fall back
+        to the earliest still-armed crash (the ranks run in lockstep, so
+        that is the one that fired), or to the resume point for genuine
+        — non-injected — failures.
+        """
+        cause = exc.__cause__
+        if isinstance(cause, RankCrashed) and cause.step is not None:
+            return cause.rank, cause.step
+        armed = {r: s for r, s in plan.crashes.items() if s >= start}
+        if armed:
+            rank = min(armed, key=lambda r: (armed[r], r))
+            return rank, armed[rank]
+        return getattr(cause, "rank", None), start
+
+    # ------------------------------------------------------------------ #
+    def _worker(
+        self,
+        comm: Communicator,
+        start_step: int = 0,
+        checkpoint_path: str | None = None,
+    ) -> TrainResult:
+        fault_comm: FaultyCommunicator | None = None
+        if self.fault_plan is not None:
+            comm = fault_comm = FaultyCommunicator(comm, self.fault_plan)
         model = build_model(self.config, rng=np.random.default_rng(self.seed))
         model.train()
         tables = model.embedding_tables()
         dense_params = model.dense_parameters()
         optimizer = EmbraceAdam(model.parameters(), lr=self.lr)
 
-        # Per-table EmbRace runtimes (column shards + modified Adam).
+        extras: dict[str, np.ndarray] = {}
+        if checkpoint_path and os.path.exists(checkpoint_path):
+            loaded_step = load_checkpoint(checkpoint_path, model, optimizer)
+            if loaded_step != start_step:
+                raise RuntimeError(
+                    f"checkpoint moved underfoot: expected step {start_step}, "
+                    f"found {loaded_step}"
+                )
+            extras = load_extras(checkpoint_path)
+
+        # Per-table EmbRace runtimes (column shards + modified Adam) —
+        # created after any restore so the shards view the loaded tables.
         runtimes: dict[str, EmbraceTableRuntime] = {}
         if self.strategy == "embrace":
             runtimes = {
                 name: EmbraceTableRuntime(comm, table, lr=self.lr)
                 for name, table in tables.items()
             }
+            self._restore_shard_state(runtimes, extras)
 
         compressors = None
         if self.dgc_ratio is not None:
@@ -140,10 +325,12 @@ class RealTrainer:
         stream = Prefetcher(
             batch_stream(self.config, self.gpu_kind, seed=self.seed + 1 + comm.rank)
         )
-        losses: list[float] = []
-        tokens: list[int] = []
+        for _ in range(start_step):  # resume: replay the stream position
+            next(stream)
+        losses: list[float] = [float(x) for x in extras.get("loss_log", [])]
+        tokens: list[int] = [int(x) for x in extras.get("token_log", [])]
         predictions: list[np.ndarray] = []
-        val_losses: list[float] = []
+        val_losses: list[float] = [float(x) for x in extras.get("val_log", [])]
         # Validation uses a held-out stream (seed offset avoids overlap
         # with any rank's training stream).
         val_stream = (
@@ -157,10 +344,14 @@ class RealTrainer:
             else []
         )
 
-        for _step in range(self.steps):
+        for _step in range(start_step, self.steps):
+            if fault_comm is not None:
+                fault_comm.check_crash(_step)
             batch = next(stream)
             next_batch = stream.peek()
-            loss = model.forward_backward(batch)
+            straggle = fault_comm.straggler() if fault_comm is not None else nullcontext()
+            with straggle:
+                loss = model.forward_backward(batch)
             # Average the scalar loss across ranks for a global curve.
             losses.append(float(comm.allreduce_mean(np.array([loss]))[0]))
             tokens.append(model.last_token_count())
@@ -211,6 +402,15 @@ class RealTrainer:
                 predictions.append(self._teacher_forced_predictions(model, batch))
             if self.eval_every and (_step + 1) % self.eval_every == 0:
                 val_losses.append(self._validate(model, val_batches, runtimes))
+            if (
+                checkpoint_path
+                and self.checkpoint_every
+                and (_step + 1) % self.checkpoint_every == 0
+            ):
+                self._checkpoint(
+                    comm, model, optimizer, runtimes, checkpoint_path,
+                    _step + 1, losses, tokens, val_losses,
+                )
 
         state = self._final_state(model, runtimes)
         return TrainResult(
@@ -223,6 +423,48 @@ class RealTrainer:
             predictions=predictions,
             val_losses=val_losses,
         )
+
+    # ------------------------------------------------------------------ #
+    def _checkpoint(
+        self, comm, model, optimizer, runtimes, path, step, losses, tokens, val_losses
+    ) -> None:
+        """Collectively assemble and (on rank 0) write a restart point.
+
+        All ranks participate: under EmbRace each table's authoritative
+        values and sharded Adam moments live column-partitioned across
+        the group, so checkpointing is itself a collective (an AllGather
+        per table, just as a model-parallel system would serialize).
+        Writing the gathered table into the local replica is a no-op on
+        this rank's own columns and merely freshens the rest.
+        """
+        extras: dict[str, np.ndarray] = {
+            "loss_log": np.asarray(losses, dtype=np.float64),
+            "token_log": np.asarray(tokens, dtype=np.int64),
+            "val_log": np.asarray(val_losses, dtype=np.float64),
+        }
+        for name, rt in runtimes.items():
+            rt.table.weight.data[:] = rt.gather_full_table()
+            st = rt.optimizer.state_for(rt.shard)
+            for key in ("exp_avg", "exp_avg_sq"):
+                extras[f"embrace/{name}/{key}"] = np.concatenate(
+                    comm.allgather(np.ascontiguousarray(st[key])), axis=1
+                )
+            extras[f"embrace/{name}/step"] = np.array(st["step"], dtype=np.int64)
+        if comm.rank == 0:
+            save_checkpoint(path, model, optimizer, step=step, extras=extras)
+
+    def _restore_shard_state(self, runtimes, extras) -> None:
+        """Slice each shard's Adam moments back out of the gathered state."""
+        for name, rt in runtimes.items():
+            key = f"embrace/{name}/exp_avg"
+            if key not in extras:
+                continue
+            st = rt.optimizer.state_for(rt.shard)
+            st["exp_avg"] = np.ascontiguousarray(extras[key][:, rt.my_columns])
+            st["exp_avg_sq"] = np.ascontiguousarray(
+                extras[f"embrace/{name}/exp_avg_sq"][:, rt.my_columns]
+            )
+            st["step"] = int(extras[f"embrace/{name}/step"])
 
     # ------------------------------------------------------------------ #
     def _validate(self, model, val_batches, runtimes) -> float:

@@ -1,0 +1,235 @@
+"""Fault-injection degradation study (``repro.faults`` end to end).
+
+One seeded :class:`~repro.faults.FaultPlan` per fault level drives
+**both** execution paths:
+
+* the discrete-event simulator (:func:`repro.faults.degraded_step_time`)
+  sweeps the full straggler/drop grids at paper scale;
+* the real multi-worker backend executes the grid *endpoints* at tiny
+  scale (wall-clock measured, faults actually injected into the wire);
+* a mid-run rank crash is injected into
+  :meth:`~repro.engine.trainer_real.RealTrainer.train_resilient`, which
+  must recover from its checkpoint to the bit-identical final loss.
+
+The shape claims: throughput degrades monotonically with the fault
+level on both paths, EmbRace stays ahead of the AllGather baseline at
+every level, and crash recovery is lossless.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine.trainer_sim import make_context
+from repro.experiments.base import ExperimentResult
+from repro.faults import FaultPlan, RetryPolicy, degraded_step_time
+from repro.models import GNMT8
+from repro.strategies import ALL_STRATEGIES
+from repro.utils.tables import Table
+
+#: Straggler slowdown factors (1.0 = healthy) for the slowest rank.
+FAULT_STRAGGLERS = (1.0, 1.25, 1.5, 2.0)
+#: Per-message drop probabilities (sender retransmits with backoff).
+FAULT_DROPS = (0.0, 0.1, 0.2, 0.3)
+#: Simulated strategies (paper names) and their real-backend twins.
+FAULT_SIM_STRATEGIES = ("Horovod-AllGather", "EmbRace")
+FAULT_REAL_STRATEGIES = ("allgather", "embrace")
+FAULT_WORLD = 4
+FAULT_SEED = 7
+
+#: Real-path runs only execute the first/last fault level (wall-clock
+#: endpoints); the simulator covers the interior of the curve.
+REAL_WORLD = 2
+REAL_STEPS = 3
+
+
+def straggler_plan(factor: float) -> FaultPlan:
+    """One slow rank at ``factor`` x compute time.
+
+    Rank 0 carries the slowdown so that the *same* plan is meaningful at
+    both the simulated world size and the smaller real-backend world.
+    """
+    stragglers = {} if factor == 1.0 else {0: factor}
+    return FaultPlan(seed=FAULT_SEED, stragglers=stragglers)
+
+
+def drop_plan(prob: float) -> FaultPlan:
+    """Every message independently dropped with ``prob`` (then retransmitted).
+
+    The retry budget is deep enough that permanent loss is negligible
+    even at the worst drop rate over thousands of messages (a real
+    transport retransmits until its deadline, not 4 times): the cost of
+    drops shows up as backoff latency, not as a failed run.
+    """
+    return FaultPlan(
+        seed=FAULT_SEED,
+        drop_prob=prob,
+        retry=RetryPolicy(
+            max_retries=12, base_backoff=0.002, factor=2.0, max_backoff=0.05
+        ),
+    )
+
+
+def _sim_curves() -> dict:
+    """tokens/s vs fault level for each strategy on the simulator path."""
+    from repro.engine.workload import cached_workload
+
+    ctx = make_context(GNMT8, "rtx3090", 16)
+    tokens = (
+        cached_workload(GNMT8.name, "rtx3090", 16).avg_tokens_per_batch
+        * FAULT_WORLD
+    )
+    curves: dict = {}
+    for name in FAULT_SIM_STRATEGIES:
+        graph = ALL_STRATEGIES[name]().build_step(ctx)
+        curves[name] = {
+            "straggler": {
+                s: tokens / degraded_step_time(graph, FAULT_WORLD, straggler_plan(s))
+                for s in FAULT_STRAGGLERS
+            },
+            "drop": {
+                d: tokens / degraded_step_time(graph, FAULT_WORLD, drop_plan(d))
+                for d in FAULT_DROPS
+            },
+        }
+    return curves
+
+
+def _real_endpoint(strategy: str, plan: FaultPlan) -> float:
+    """Wall-clock tokens/s of a tiny real run under ``plan``."""
+    from repro.engine.trainer_real import RealTrainer
+
+    config = GNMT8.scaled(vocab=512, dim_divisor=32)
+    trainer = RealTrainer(
+        config,
+        strategy=strategy,
+        world_size=REAL_WORLD,
+        steps=REAL_STEPS,
+        seed=FAULT_SEED,
+        fault_plan=None if plan.is_benign else plan,
+    )
+    start = time.perf_counter()
+    result = trainer.train()
+    elapsed = time.perf_counter() - start
+    return sum(result.tokens_per_step) * REAL_WORLD / elapsed
+
+
+def _real_curves() -> dict:
+    """Endpoint tokens/s on the real backend, same plans as the sim."""
+    endpoints: dict = {}
+    for strategy in FAULT_REAL_STRATEGIES:
+        endpoints[strategy] = {
+            "straggler": {
+                s: _real_endpoint(strategy, straggler_plan(s))
+                for s in (FAULT_STRAGGLERS[0], FAULT_STRAGGLERS[-1])
+            },
+            "drop": {
+                d: _real_endpoint(strategy, drop_plan(d))
+                for d in (FAULT_DROPS[0], FAULT_DROPS[-1])
+            },
+        }
+    return endpoints
+
+
+def crash_recovery_check(strategy: str = "allgather") -> dict:
+    """Inject a mid-run rank crash and compare against the clean run.
+
+    Returns the resilience accounting plus ``loss_equal`` — whether the
+    recovered run's full loss curve is bit-identical to an uninterrupted
+    run with the same seed (the strongest possible recovery claim).
+    """
+    import tempfile
+
+    from repro.engine.trainer_real import RealTrainer
+
+    config = GNMT8.tiny()
+    kwargs = dict(
+        strategy=strategy, world_size=2, steps=6, seed=FAULT_SEED
+    )
+    clean = RealTrainer(config, **kwargs).train()
+    plan = FaultPlan(seed=FAULT_SEED, crashes={1: 4}, recv_deadline=2.0)
+    resilient = RealTrainer(
+        config,
+        fault_plan=plan,
+        checkpoint_every=2,
+        checkpoint_dir=tempfile.mkdtemp(prefix="repro-faults-"),
+        **kwargs,
+    ).train_resilient()
+    return {
+        "attempts": resilient.report.attempts,
+        "crash_events": resilient.report.crash_events,
+        "restore_steps": resilient.report.restore_steps,
+        "steps_replayed": resilient.report.steps_replayed,
+        "loss_equal": resilient.result.losses == clean.losses,
+        "final_loss": resilient.result.losses[-1],
+    }
+
+
+def _monotone_decreasing(values: list[float], tol: float = 1e-9) -> bool:
+    return all(b <= a + tol for a, b in zip(values, values[1:]))
+
+
+def run_faults() -> ExperimentResult:
+    """Degradation curves + crash recovery, one FaultPlan for both paths."""
+    sim = _sim_curves()
+    real = _real_curves()
+    recovery = crash_recovery_check()
+
+    tables = []
+    for axis, levels, fmt in (
+        ("straggler", FAULT_STRAGGLERS, "x{}"),
+        ("drop", FAULT_DROPS, "p={}"),
+    ):
+        table = Table(
+            ["strategy", "path"] + [fmt.format(lv) for lv in levels],
+            title=f"Degradation — GNMT-8 tokens/s vs {axis} level "
+            f"({FAULT_WORLD} simulated ranks; real endpoints at "
+            f"{REAL_WORLD} workers)",
+        )
+        for sim_name, real_name in zip(FAULT_SIM_STRATEGIES, FAULT_REAL_STRATEGIES):
+            table.add_row(
+                [sim_name, "sim"]
+                + [f"{sim[sim_name][axis][lv]:,.0f}" for lv in levels]
+            )
+            row = [real_name, "real"]
+            for lv in levels:
+                cell = real[real_name][axis].get(lv)
+                row.append(f"{cell:,.0f}" if cell is not None else "-")
+            table.add_row(row)
+        tables.append(table.render())
+
+    sim_monotone = all(
+        _monotone_decreasing([sim[n][axis][lv] for lv in levels])
+        for n in FAULT_SIM_STRATEGIES
+        for axis, levels in (("straggler", FAULT_STRAGGLERS), ("drop", FAULT_DROPS))
+    )
+    sim_ranking = all(
+        sim["EmbRace"][axis][lv] > sim["Horovod-AllGather"][axis][lv]
+        for axis, levels in (("straggler", FAULT_STRAGGLERS), ("drop", FAULT_DROPS))
+        for lv in levels
+    )
+    real_degrades = all(
+        real[n][axis][levels[-1]] < real[n][axis][levels[0]]
+        for n in FAULT_REAL_STRATEGIES
+        for axis, levels in (("straggler", FAULT_STRAGGLERS), ("drop", FAULT_DROPS))
+    )
+    findings = [
+        f"Simulated throughput falls monotonically with the fault level "
+        f"for every strategy: {sim_monotone}.",
+        f"EmbRace stays ahead of Horovod-AllGather at every simulated "
+        f"fault level (same ranking as the healthy cluster): {sim_ranking}.",
+        f"The real backend degrades in the same direction at the curve "
+        f"endpoints (wall-clock measured, faults on the wire): "
+        f"{real_degrades}.",
+        f"A rank crash at step {recovery['crash_events'][0][1]} recovers "
+        f"from the step-{recovery['restore_steps'][0]} checkpoint "
+        f"({recovery['steps_replayed']} steps replayed) to a bit-identical "
+        f"loss curve: {recovery['loss_equal']}.",
+    ]
+    return ExperimentResult(
+        exp_id="Resilience",
+        title="Fault-injection degradation curves & crash recovery",
+        tables=tables,
+        findings=findings,
+        data={"sim": sim, "real": real, "recovery": recovery},
+    )

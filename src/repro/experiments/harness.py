@@ -17,7 +17,7 @@ from repro.experiments import (
     table2,
     table3,
 )
-from repro.experiments import extended
+from repro.experiments import extended, faults
 from repro.experiments.base import ExperimentResult
 
 #: Experiment id -> runner, in paper order.
@@ -43,6 +43,7 @@ EXTENDED_EXPERIMENTS = {
     "projection_scaleout": extended.run_scaleout,
     "extension_dgc": extended.run_dgc,
     "realbytes": extended.run_realbytes,
+    "faults": faults.run_faults,
 }
 
 HEADER = """\

@@ -1,0 +1,48 @@
+"""Typed failure hierarchy of the fault-injection subsystem.
+
+Every permanent communication failure surfaces as a :class:`CommFailure`
+subclass instead of a bare ``TimeoutError`` or a silent hang, so callers
+(most importantly :meth:`repro.engine.trainer_real.RealTrainer.
+train_resilient`) can distinguish "a peer is gone, recover from the last
+checkpoint" from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class CommFailure(RuntimeError):
+    """A communication operation failed permanently.
+
+    ``rank`` is the rank that observed the failure; ``op`` names the
+    operation (e.g. ``"recv(src=2)"``).  Transient faults are retried
+    inside the injection layer and never surface as this type.
+    """
+
+    def __init__(self, message: str, rank: int | None = None, op: str | None = None):
+        super().__init__(message)
+        self.rank = rank
+        self.op = op
+
+
+class PeerTimeout(CommFailure):
+    """A receive exceeded its deadline — the peer is dead or deadlocked."""
+
+
+class MessageLost(CommFailure):
+    """Every retransmission attempt of one message was dropped."""
+
+
+class BarrierBroken(CommFailure):
+    """A barrier was aborted or timed out (some rank never arrived)."""
+
+
+class RankCrashed(CommFailure):
+    """An injected rank crash (``FaultPlan.crashes``) fired.
+
+    ``step`` records the global training step at which the crash was
+    scheduled, which the recovery driver uses to disarm the fault.
+    """
+
+    def __init__(self, message: str, rank: int | None = None, step: int | None = None):
+        super().__init__(message, rank=rank, op="crash")
+        self.step = step

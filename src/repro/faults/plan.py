@@ -1,0 +1,157 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` describes *what goes wrong* during a training run —
+per-rank compute stragglers, message delay/drop/reorder on the wire,
+rank crashes at a given step — independently of *where* it is executed.
+The same (seeded, deterministic) plan drives:
+
+* the real backend, via :class:`~repro.faults.inject.FaultyCommunicator`
+  wrapping any :class:`~repro.comm.Communicator`;
+* the simulator, via :func:`~repro.faults.simfaults.expand_with_faults`
+  perturbing task durations of the multi-rank graph.
+
+This is what lets sim-vs-real degradation curves be cross-validated:
+one plan, two execution paths.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+
+import numpy as np
+
+from repro.faults.retry import RetryPolicy
+from repro.utils.validation import check_non_negative, check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One reproducible failure scenario.
+
+    Parameters
+    ----------
+    seed:
+        Root of every RNG decision (per-rank streams are derived, so the
+        plan is deterministic at any world size).
+    stragglers:
+        ``rank -> slowdown factor``; factor 2.0 makes that rank's compute
+        take twice as long (real path: sleeps; sim path: duration skew).
+    delay_prob / delay_s:
+        Each message is delayed with probability ``delay_prob`` by an
+        Exponential(``delay_s``) extra latency — the tail-latency model.
+    drop_prob:
+        Each transmission *attempt* is dropped with this probability;
+        the sender retransmits under ``retry`` until the policy is
+        exhausted (then the message is permanently lost).
+    reorder_prob / reorder_s:
+        A random subset of messages is held back ``reorder_s`` seconds,
+        overtaking later traffic; sequence numbers restore order at the
+        receiver, at a waiting cost.
+    crashes:
+        ``rank -> global step``: the rank raises
+        :class:`~repro.faults.errors.RankCrashed` at the top of that
+        step (once — the recovery driver disarms fired crashes).
+    recv_deadline:
+        Deadline (seconds) for every blocking receive/barrier on the
+        real backend; past it a typed
+        :class:`~repro.faults.errors.PeerTimeout` is raised, never a
+        hang.
+    retry:
+        Backoff policy for retransmitting dropped messages.
+    """
+
+    seed: int = 0
+    stragglers: dict[int, float] = field(default_factory=dict)
+    delay_prob: float = 0.0
+    delay_s: float = 0.0
+    drop_prob: float = 0.0
+    reorder_prob: float = 0.0
+    reorder_s: float = 0.0
+    crashes: dict[int, int] = field(default_factory=dict)
+    recv_deadline: float = 30.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        check_probability("delay_prob", self.delay_prob)
+        check_probability("drop_prob", self.drop_prob)
+        check_probability("reorder_prob", self.reorder_prob)
+        check_non_negative("delay_s", self.delay_s)
+        check_non_negative("reorder_s", self.reorder_s)
+        check_positive("recv_deadline", self.recv_deadline)
+        for rank, factor in self.stragglers.items():
+            if rank < 0:
+                raise ValueError(f"straggler rank must be >= 0, got {rank}")
+            check_positive(f"straggler factor of rank {rank}", factor)
+        for rank, step in self.crashes.items():
+            if rank < 0:
+                raise ValueError(f"crash rank must be >= 0, got {rank}")
+            check_non_negative(f"crash step of rank {rank}", step)
+
+    # -- queries --------------------------------------------------------- #
+    @property
+    def perturbs_messages(self) -> bool:
+        """Whether any wire-level fault (delay/drop/reorder) is armed."""
+        return bool(self.delay_prob or self.drop_prob or self.reorder_prob)
+
+    @property
+    def is_benign(self) -> bool:
+        return not (self.perturbs_messages or self.stragglers or self.crashes)
+
+    def straggler_factor(self, rank: int) -> float:
+        return self.stragglers.get(rank, 1.0)
+
+    def compute_skew(self, world_size: int) -> list[float]:
+        """Per-rank duration multipliers for the simulator path."""
+        return [self.straggler_factor(r) for r in range(world_size)]
+
+    def should_crash(self, rank: int, step: int) -> bool:
+        return self.crashes.get(rank) == step
+
+    def without_crashes_at_or_before(self, step: int) -> "FaultPlan":
+        """Disarm crashes scheduled at or before ``step`` (they fired)."""
+        kept = {r: s for r, s in self.crashes.items() if s > step}
+        return replace(self, crashes=kept)
+
+    def rng_for(self, rank: int | None = None) -> np.random.Generator:
+        """An independent deterministic stream per rank (or the shared
+        simulator stream when ``rank`` is ``None``).
+
+        The shared stream's spawn key is a word no rank can hold
+        (``default_rng([s])`` and ``default_rng([s, 0])`` would collide
+        otherwise — SeedSequence zero-pads its entropy).
+        """
+        key = 2**32 - 1 if rank is None else rank
+        return np.random.default_rng([self.seed, key])
+
+    # -- (de)serialization ----------------------------------------------- #
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        data = dict(data)
+        if "retry" in data and isinstance(data["retry"], dict):
+            data["retry"] = RetryPolicy(**data["retry"])
+        # JSON turns int keys into strings; normalize back.
+        for key in ("stragglers", "crashes"):
+            if key in data:
+                caster = float if key == "stragglers" else int
+                data[key] = {int(r): caster(v) for r, v in data[key].items()}
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path) as fh:
+            return cls.from_json(fh.read())

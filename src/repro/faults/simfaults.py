@@ -1,0 +1,110 @@
+"""Fault injection for the simulator path.
+
+The same :class:`~repro.faults.plan.FaultPlan` that drives the real
+backend perturbs the discrete-event simulator:
+
+* straggler factors become per-rank ``compute_skew`` of
+  :func:`repro.sim.multirank.expand_to_ranks`;
+* wire faults (delay tail, drops-with-retransmit, reorder holdback)
+  become sampled duration penalties on the shared ``network`` collective
+  tasks, mirroring what the sender-side injector of
+  :mod:`repro.faults.inject` costs the real path — one latency model,
+  two executions.
+
+Crashes are a trainer-level fault (a step never completes) and have no
+single-step simulator analogue; they are ignored here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+from repro.sim.executor import execute
+from repro.sim.multirank import NETWORK, expand_to_ranks
+from repro.sim.task import Task, TaskGraph
+
+
+def apply_duration_hook(
+    graph: TaskGraph, hook: Callable[[Task], float]
+) -> TaskGraph:
+    """Copy ``graph`` with every task's duration replaced by ``hook(task)``.
+
+    Names, resources, kinds, priorities and dependencies are preserved,
+    so the result executes on the same schedule with perturbed timing —
+    the generic injection point for *any* simulated step graph.
+    """
+    out = TaskGraph()
+    for task in graph.tasks.values():
+        out.add(
+            Task(
+                name=task.name,
+                duration=hook(task),
+                resource=task.resource,
+                kind=task.kind,
+                priority=task.priority,
+                deps=task.deps,
+                meta=dict(task.meta),
+            )
+        )
+    return out
+
+
+def message_fault_penalty(
+    plan: FaultPlan, rng: np.random.Generator, n_messages: int
+) -> float:
+    """Sampled extra seconds ``n_messages`` transmissions pay under ``plan``.
+
+    Mirrors the sender-side injector: each message may draw an
+    exponential delay tail, a reorder holdback, and a geometric number
+    of retransmissions each costing its backoff sleep (capped by the
+    retry policy, as on the real path).
+    """
+    extra = 0.0
+    for _ in range(n_messages):
+        if plan.delay_prob and rng.random() < plan.delay_prob:
+            extra += rng.exponential(plan.delay_s) if plan.delay_s else 0.0
+        if plan.reorder_prob and rng.random() < plan.reorder_prob:
+            extra += plan.reorder_s
+        attempt = 0
+        while plan.drop_prob and rng.random() < plan.drop_prob:
+            if attempt >= plan.retry.max_retries:
+                break
+            extra += plan.retry.backoff(attempt)
+            attempt += 1
+    return extra
+
+
+def expand_with_faults(
+    graph: TaskGraph, world_size: int, plan: FaultPlan
+) -> TaskGraph:
+    """Multi-rank expansion of a symmetric step graph under ``plan``.
+
+    Equivalent to :func:`expand_to_ranks` with the plan's straggler skew
+    when no wire faults are armed; otherwise every ``network`` collective
+    additionally pays a seeded :func:`message_fault_penalty` for its
+    ``world_size`` per-rank message legs.
+    """
+    expanded = expand_to_ranks(
+        graph, world_size, compute_skew=plan.compute_skew(world_size)
+    )
+    if not plan.perturbs_messages:
+        return expanded
+    rng = plan.rng_for(None)
+
+    def hook(task: Task) -> float:
+        if task.resource != NETWORK:
+            return task.duration
+        return task.duration + message_fault_penalty(plan, rng, world_size)
+
+    return apply_duration_hook(expanded, hook)
+
+
+def degraded_step_time(
+    graph: TaskGraph, world_size: int, plan: FaultPlan
+) -> float:
+    """Makespan of one step of ``graph`` at ``world_size`` ranks under
+    ``plan`` — the simulator half of a degradation curve."""
+    return execute(expand_with_faults(graph, world_size, plan)).makespan

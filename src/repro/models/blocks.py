@@ -14,7 +14,7 @@ calculation time").  This module produces that decomposition from a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.models.config import ModelConfig
 from repro.utils.validation import check_in

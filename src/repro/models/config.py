@@ -17,7 +17,7 @@ BERT-base       417.7        89.4           21.42 %
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.utils.validation import check_in, check_positive
 

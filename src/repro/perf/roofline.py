@@ -13,10 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cluster.hardware import GPUSpec
 from repro.cluster.topology import ClusterSpec
 from repro.collectives.cost import CostModel
-from repro.models.blocks import EMBEDDING, BlockSpec, block_specs
+from repro.models.blocks import EMBEDDING, block_specs
 from repro.models.config import ModelConfig
 from repro.perf.estimator import ComputeEstimator
 

@@ -6,7 +6,6 @@ really allocate, every simulated communication payload would be wrong —
 so the two are pinned against each other here at identical configs.
 """
 
-import numpy as np
 import pytest
 
 from repro.models import (

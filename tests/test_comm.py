@@ -1,5 +1,7 @@
 """Tests for the real communication backend and its collectives."""
 
+import time
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -300,6 +302,66 @@ class TestFailureInjection:
 
         with pytest.raises(ValueError):
             ThreadGroup(2, timeout=0)
+
+    def test_process_timeout_validation(self):
+        from repro.comm.process import ProcessGroup
+
+        with pytest.raises(ValueError):
+            ProcessGroup(2, timeout=0)
+
+    def test_dead_peer_recv_error_is_informative(self):
+        """The thread backend's recv timeout names the silent peer."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                return None  # exits without ever sending
+            with pytest.raises(TimeoutError, match="no message from rank 0"):
+                comm.recv(0)
+            return True
+
+        assert run_threaded(2, fn, timeout=0.3)[1] is True
+
+    def test_hung_worker_raises_instead_of_returning_partial(self):
+        """A thread that outlives the join budget is an error, not a
+        silently dropped result."""
+
+        def fn(comm):
+            if comm.rank == 1:
+                time.sleep(1.0)
+            return comm.rank
+
+        with pytest.raises(RuntimeError, match="still alive"):
+            run_threaded(2, fn, timeout=0.05)
+
+    @pytest.mark.slow
+    def test_process_dead_peer_recv_times_out(self):
+        """The process backend's recv timeout names the silent peer too."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                return "early exit"
+            try:
+                comm.recv(0)
+            except TimeoutError as exc:
+                return str(exc)
+            return "no error"
+
+        results = run_multiprocess(2, fn, timeout=0.5)
+        assert "no message from rank 0" in results[1]
+
+    @pytest.mark.slow
+    def test_process_worker_exception_surfaces_origin_rank(self):
+        """A worker dying before a barrier breaks the others out of it,
+        and the error reported to the caller names the origin rank."""
+
+        def fn(comm):
+            if comm.rank == 1:
+                raise ValueError("rank 1 exploding before the barrier")
+            comm.barrier()
+            return True
+
+        with pytest.raises(RuntimeError, match="rank 1"):
+            run_multiprocess(2, fn, timeout=1.0)
 
     def test_survivors_unaffected_after_clean_run(self):
         """The same group machinery still works for healthy runs."""

@@ -1,11 +1,10 @@
 """Tests for workload measurement, throughput simulation and perf model."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import RTX2080, RTX3090
 from repro.engine import measure_workload, simulate_training
-from repro.engine.trainer_sim import make_cluster, make_context
+from repro.engine.trainer_sim import make_cluster
 from repro.engine.workload import batch_stream, cached_workload
 from repro.models import BERT_BASE, GNMT8, LM, TRANSFORMER, block_specs
 from repro.perf import ComputeEstimator

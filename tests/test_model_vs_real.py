@@ -9,7 +9,6 @@ of each collective.
 import numpy as np
 import pytest
 
-from repro.cluster import rtx3090_cluster
 from repro.collectives import CostModel
 from repro.comm import run_threaded
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.engine.step_simulator import simulate_step
 from repro.engine.trainer_sim import make_context
-from repro.models import GNMT8, LM
+from repro.models import GNMT8
 from repro.sim import TaskGraph, execute
 from repro.sim.multirank import NETWORK, expand_to_ranks
 from repro.strategies import ALL_STRATEGIES, EmbRace, HorovodAllGather

@@ -6,7 +6,7 @@ from repro.engine.trainer_sim import make_context
 from repro.models import GNMT8, LM
 from repro.sim import TaskGraph, execute
 from repro.sim.pipeline import chain_steps, steady_state_step_time
-from repro.strategies import ALL_STRATEGIES, EmbRace, HorovodAllGather
+from repro.strategies import ALL_STRATEGIES, EmbRace
 
 
 @pytest.fixture(scope="module")

@@ -1,12 +1,11 @@
 """Tests for the strategy step graphs and their simulated behaviour."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import rtx2080_cluster, rtx3090_cluster
 from repro.engine.step_simulator import simulate_step
 from repro.engine.workload import measure_workload
-from repro.models import BERT_BASE, GNMT8, LM, PAPER_MODELS, TRANSFORMER
+from repro.models import GNMT8, LM
 from repro.sim import execute
 from repro.strategies import (
     ALL_STRATEGIES,

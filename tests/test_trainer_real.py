@@ -8,7 +8,7 @@ to the Horovod-AllGather baseline for every model family.
 import numpy as np
 import pytest
 
-from repro.engine.trainer_real import RealTrainer, TrainResult
+from repro.engine.trainer_real import RealTrainer
 from repro.eval import bleu, perplexity, perplexity_curve, teacher_forced_argmax
 from repro.models import BERT_BASE, GNMT8, LM, TRANSFORMER, build_model
 
