@@ -1,0 +1,215 @@
+"""Bench: zero-copy shared-memory transport vs the legacy pickle/queue path.
+
+Measures, on real worker processes:
+
+* 4-rank ring AllReduce of a 64 MB float32 array on both transports —
+  the acceptance metric (shm must be >= 5x queue throughput);
+* sparse AlltoAll column shards (multi-segment frames) on both;
+* small-message round latency (transport fixed costs);
+* one-shot vs persistent-group dispatch (fork/link amortization).
+
+Results land in ``BENCH_comm.json`` (see ``--out``); the committed copy
+at the repository root is the regression baseline that
+``benchmarks/check_comm_regression.py`` diffs against in CI.
+
+Run:  python benchmarks/bench_comm_transport.py [--quick] [--out BENCH_comm.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.comm import ProcessGroup, TRANSPORTS
+from repro.comm.sparse import alltoall_column_shards
+from repro.tensors import SparseRows
+
+WORLD = 4
+PAYLOAD_MB = 64
+SPARSE_ROWS = 40_000
+SPARSE_DIM = 96
+
+
+def _timed_allreduce(comm, n_elems: int, iters: int) -> list[float]:
+    """Per-iteration wall seconds of an ``n_elems`` float32 ring AllReduce."""
+    data = np.full(n_elems, float(comm.rank + 1), dtype=np.float32)
+    out = np.empty_like(data)  # reused across steps, like a gradient buffer
+    times = []
+    for _ in range(2):  # reach steady state: links, segment pools, page faults
+        comm.allreduce(data, out=out)
+    for _ in range(iters):
+        comm.barrier()
+        start = time.perf_counter()
+        comm.allreduce(data, out=out)
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def _timed_sparse_alltoall(comm, rows: int, dim: int, iters: int) -> list[float]:
+    rng = np.random.default_rng(comm.rank)
+    grad = SparseRows(
+        rng.integers(0, rows, size=rows // 2),
+        rng.normal(size=(rows // 2, dim)).astype(np.float32),
+        rows,
+    )
+    times = []
+    for _ in range(2):
+        alltoall_column_shards(comm, grad)
+    for _ in range(iters):
+        comm.barrier()
+        start = time.perf_counter()
+        alltoall_column_shards(comm, grad)
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def _ping(comm) -> float:
+    """One tiny-payload ring round (per-message fixed costs)."""
+    comm.barrier()
+    start = time.perf_counter()
+    right = (comm.rank + 1) % comm.world_size
+    left = (comm.rank - 1) % comm.world_size
+    comm.sendrecv(right, np.zeros(8, dtype=np.float32), left)
+    return time.perf_counter() - start
+
+
+def _noop(comm) -> int:
+    return comm.rank
+
+
+def _step_seconds(per_rank_times: list[list[float]]) -> list[float]:
+    """Collective step time = the slowest rank, per iteration."""
+    return [max(times) for times in zip(*per_rank_times)]
+
+
+def measure(world: int, payload_mb: float, iters: int) -> dict:
+    n_elems = int(payload_mb * 2**20 / 4)
+    results: dict = {
+        "meta": {
+            "world": world,
+            "payload_mb": payload_mb,
+            "dtype": "float32",
+            "iters": iters,
+            "cpus": os.cpu_count(),
+            "sparse": {"rows": SPARSE_ROWS, "dim": SPARSE_DIM},
+        },
+        "allreduce": {},
+        "sparse_alltoall": {},
+        "ping": {},
+    }
+    for transport in TRANSPORTS:
+        with ProcessGroup(world, transport=transport) as group:
+            steps = _step_seconds(group.run(_timed_allreduce, n_elems, iters))
+            latency = float(np.median(steps))
+            results["allreduce"][transport] = {
+                "latency_s": latency,
+                "mbps": payload_mb / latency,
+            }
+            steps = _step_seconds(
+                group.run(_timed_sparse_alltoall, SPARSE_ROWS, SPARSE_DIM, iters)
+            )
+            results["sparse_alltoall"][transport] = {
+                "latency_s": float(np.median(steps))
+            }
+            pings = [max(group.run(_ping)) for _ in range(3)]
+            results["ping"][transport] = {"latency_s": float(np.median(pings))}
+
+    results["allreduce"]["speedup"] = (
+        results["allreduce"]["shm"]["mbps"] / results["allreduce"]["queue"]["mbps"]
+    )
+    results["sparse_alltoall"]["speedup"] = (
+        results["sparse_alltoall"]["queue"]["latency_s"]
+        / results["sparse_alltoall"]["shm"]["latency_s"]
+    )
+
+    # Fork/link amortization: N trivial runs, fresh group each vs one pool.
+    n_runs = 6
+    start = time.perf_counter()
+    for _ in range(n_runs):
+        ProcessGroup(world).run(_noop)
+    one_shot = (time.perf_counter() - start) / n_runs
+    with ProcessGroup(world) as group:
+        group.run(_noop)  # exclude pool startup from the per-run figure
+        start = time.perf_counter()
+        for _ in range(n_runs):
+            group.run(_noop)
+        persistent = (time.perf_counter() - start) / n_runs
+    results["dispatch"] = {
+        "one_shot_s": one_shot,
+        "persistent_s": persistent,
+        "speedup": one_shot / persistent,
+    }
+
+    # The machine-portable numbers the CI regression gate guards.
+    results["guarded"] = {
+        "allreduce_speedup": results["allreduce"]["speedup"],
+        "sparse_alltoall_speedup": results["sparse_alltoall"]["speedup"],
+        "dispatch_speedup": results["dispatch"]["speedup"],
+    }
+    return results
+
+
+def render(results: dict) -> str:
+    a = results["allreduce"]
+    s = results["sparse_alltoall"]
+    p = results["ping"]
+    d = results["dispatch"]
+    meta = results["meta"]
+    lines = [
+        f"{meta['world']}-rank transport benchmark "
+        f"({meta['payload_mb']} MB float32, {meta['iters']} iters, "
+        f"{meta['cpus']} cpus)",
+        "",
+        f"{'':>18} {'queue':>12} {'shm':>12} {'speedup':>9}",
+        f"{'allreduce MB/s':>18} {a['queue']['mbps']:>12.1f} "
+        f"{a['shm']['mbps']:>12.1f} {a['speedup']:>8.1f}x",
+        f"{'allreduce s/step':>18} {a['queue']['latency_s']:>12.4f} "
+        f"{a['shm']['latency_s']:>12.4f}",
+        f"{'sparse a2a s/step':>18} {s['queue']['latency_s']:>12.4f} "
+        f"{s['shm']['latency_s']:>12.4f} {s['speedup']:>8.1f}x",
+        f"{'ping s':>18} {p['queue']['latency_s']:>12.5f} "
+        f"{p['shm']['latency_s']:>12.5f}",
+        "",
+        f"dispatch: one-shot {d['one_shot_s']*1e3:.1f} ms/run vs persistent "
+        f"{d['persistent_s']*1e3:.1f} ms/run ({d['speedup']:.1f}x)",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--world", type=int, default=WORLD)
+    parser.add_argument("--payload-mb", type=float, default=PAYLOAD_MB)
+    parser.add_argument("--iters", type=int, default=5)
+    parser.add_argument(
+        "--quick", action="store_true", help="small payload, fewer iters"
+    )
+    parser.add_argument("--out", default=None, help="write JSON here")
+    args = parser.parse_args()
+    payload = 8 if args.quick else args.payload_mb
+    iters = 2 if args.quick else args.iters
+
+    results = measure(args.world, payload, iters)
+    print(render(results))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+
+
+def test_shm_transport_beats_queue(benchmark=None):
+    """Sanity floor for CI: the zero-copy path must clearly win."""
+    results = measure(world=4, payload_mb=8, iters=2)
+    print()
+    print(render(results))
+    assert results["allreduce"]["speedup"] >= 2.0
+    assert results["dispatch"]["speedup"] >= 2.0
+
+
+if __name__ == "__main__":
+    main()

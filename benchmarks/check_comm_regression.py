@@ -1,0 +1,87 @@
+"""CI gate: fresh transport benchmark vs the committed baseline.
+
+Runs :mod:`benchmarks.bench_comm_transport` (quick mode by default) and
+compares the ``guarded`` speedup ratios against the committed
+``BENCH_comm.json`` at the repository root.  Ratios — shm-over-queue,
+persistent-over-one-shot — are used instead of absolute MB/s because
+they cancel most host-speed variance; a ratio falling more than
+``--tolerance`` (default 30%) below baseline fails the build.
+
+Run:  python benchmarks/check_comm_regression.py [--quick] [--baseline BENCH_comm.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_BASELINE = os.path.join(HERE, os.pardir, "BENCH_comm.json")
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Human-readable comparison rows; raises SystemExit text via caller."""
+    failures = []
+    rows = [f"{'metric':>24} {'baseline':>10} {'fresh':>10} {'floor':>10}  verdict"]
+    for key, base_value in sorted(baseline["guarded"].items()):
+        fresh_value = fresh["guarded"][key]
+        floor = base_value * (1.0 - tolerance)
+        ok = fresh_value >= floor
+        rows.append(
+            f"{key:>24} {base_value:>9.2f}x {fresh_value:>9.2f}x "
+            f"{floor:>9.2f}x  {'ok' if ok else 'REGRESSION'}"
+        )
+        if not ok:
+            failures.append(
+                f"{key}: {fresh_value:.2f}x is below {floor:.2f}x "
+                f"(baseline {base_value:.2f}x - {tolerance:.0%})"
+            )
+    print("\n".join(rows))
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional drop below the baseline ratio",
+    )
+    parser.add_argument(
+        "--world", type=int, default=None,
+        help="default: same as the baseline run",
+    )
+    parser.add_argument(
+        "--payload-mb", type=float, default=None,
+        help="default: same as the baseline run (the shm-over-queue "
+        "ratio grows with payload, so fresh and baseline must match)",
+    )
+    parser.add_argument("--iters", type=int, default=None)
+    args = parser.parse_args()
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    meta = baseline["meta"]
+
+    from bench_comm_transport import measure, render
+
+    fresh = measure(
+        args.world or meta["world"],
+        args.payload_mb or meta["payload_mb"],
+        args.iters or meta["iters"],
+    )
+    print(render(fresh))
+    print()
+    failures = compare(baseline, fresh, args.tolerance)
+    if failures:
+        print("\nFAIL:", *failures, sep="\n  ")
+        return 1
+    print("\nno regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, HERE)
+    sys.exit(main())

@@ -24,14 +24,14 @@ from repro.utils.tables import Table
 from repro.utils.units import fmt_bytes
 
 
-def run_strategy(config, strategy: str, world: int, steps: int, seed: int):
+def run_strategy(group: ProcessGroup, config, strategy: str, steps: int, seed: int):
     trainer = RealTrainer(
-        config, strategy=strategy, world_size=world, steps=steps,
-        lr=5e-3, seed=seed, record_predictions=True,
+        config, strategy=strategy, world_size=group.world_size, steps=steps,
+        lr=5e-3, seed=seed, record_predictions=True, backend="process",
     )
-    # RealTrainer's workers are backend-agnostic closures; drive them
-    # through real processes here.
-    group = ProcessGroup(world)
+    # RealTrainer's workers are backend-agnostic; dispatch them to the
+    # caller's persistent pool so both strategies reuse the same warm
+    # workers and shared-memory links (fork + link setup is paid once).
     start = time.perf_counter()
     results = group.run(trainer._worker)
     elapsed = time.perf_counter() - start
@@ -53,17 +53,18 @@ def main() -> None:
     )
 
     runs = {}
-    for strategy in ("allgather", "embrace"):
-        result, elapsed = run_strategy(
-            config, strategy, args.world, args.steps, args.seed
-        )
-        tokens = sum(result.tokens_per_step) * args.world
-        runs[strategy] = result
-        print(
-            f"{strategy:10s}: {elapsed:6.2f}s wall, {tokens / elapsed:9,.0f} "
-            f"tokens/s, {fmt_bytes(result.comm_bytes)} sent by rank 0, "
-            f"final loss {result.losses[-1]:.4f}"
-        )
+    with ProcessGroup(args.world) as group:
+        for strategy in ("allgather", "embrace"):
+            result, elapsed = run_strategy(
+                group, config, strategy, args.steps, args.seed
+            )
+            tokens = sum(result.tokens_per_step) * args.world
+            runs[strategy] = result
+            print(
+                f"{strategy:10s}: {elapsed:6.2f}s wall, {tokens / elapsed:9,.0f} "
+                f"tokens/s, {fmt_bytes(result.comm_bytes)} sent by rank 0, "
+                f"final loss {result.losses[-1]:.4f}"
+            )
 
     table = Table(["step", "loss allgather", "loss embrace"], title="\nLoss curves")
     for i in range(args.steps):

@@ -18,9 +18,10 @@ Collective algorithms are implemented once, against the primitive
 ``send``/``recv``/``barrier`` surface, in :mod:`primitives`.
 """
 
-from repro.comm.backend import Communicator
+from repro.comm.backend import Communicator, payload_nbytes, ring_chunk_bounds
+from repro.comm.frames import decode_frames, encode_frames
 from repro.comm.local import ThreadGroup, run_threaded
-from repro.comm.process import ProcessGroup, run_multiprocess
+from repro.comm.process import TRANSPORTS, ProcessGroup, run_multiprocess
 from repro.comm.sparse import (
     allgather_sparse,
     allreduce_sparse_via_allgather,
@@ -31,10 +32,15 @@ from repro.comm.sparse import (
 
 __all__ = [
     "Communicator",
+    "payload_nbytes",
+    "ring_chunk_bounds",
+    "encode_frames",
+    "decode_frames",
     "ThreadGroup",
     "run_threaded",
     "ProcessGroup",
     "run_multiprocess",
+    "TRANSPORTS",
     "allgather_sparse",
     "allreduce_sparse_via_allgather",
     "alltoall_column_shards",

@@ -21,40 +21,53 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.comm.backend import Communicator
+from repro.comm.backend import Communicator, ring_chunk_bounds
 
 
 def reduce_scatter(comm: Communicator, array: np.ndarray) -> np.ndarray:
     """Ring reduce-scatter: returns this rank's fully-reduced chunk.
 
     Chunks follow ``np.array_split`` over the flattened array; rank i
-    owns chunk i.
+    owns chunk i.  Input dtype is preserved, the input is never copied
+    wholesale, and partial sums are forwarded the moment they form
+    (``send_sum`` reduces straight into the wire buffer on zero-copy
+    transports).
     """
-    array = np.asarray(array, dtype=np.float64)
+    array = np.asarray(array)
     size = comm.world_size
-    flat = array.reshape(-1).copy()
-    chunks = np.array_split(np.arange(flat.size), size)
+    flat_in = np.ascontiguousarray(array).reshape(-1)
+    b = ring_chunk_bounds(flat_in.size, size)
     if size == 1:
-        return flat[chunks[0]]
+        return flat_in[b[0] : b[1]].copy()
     right = (comm.rank + 1) % size
     left = (comm.rank - 1) % size
     # Indices shifted by -1 versus the textbook ring so that after the
     # final step rank r's last accumulation lands on chunk r exactly.
+    partial = None
     for step in range(size - 1):
         send_idx = (comm.rank - step - 1) % size
-        recv_idx = (comm.rank - step - 2) % size
-        incoming = comm.sendrecv(right, flat[chunks[send_idx]], left)
-        flat[chunks[recv_idx]] += incoming
-    return flat[chunks[comm.rank]]
+        outgoing = flat_in[b[send_idx] : b[send_idx + 1]]
+        if step == 0:
+            comm.send(right, comm.snapshot(outgoing))
+        else:
+            comm.send_sum(right, partial, outgoing)
+        partial = comm.recv_view(left)
+    out = np.empty(b[comm.rank + 1] - b[comm.rank], dtype=flat_in.dtype)
+    np.add(
+        np.asarray(partial).reshape(-1),
+        flat_in[b[comm.rank] : b[comm.rank + 1]],
+        out=out,
+    )
+    return out
 
 
 def tree_allreduce(comm: Communicator, array: np.ndarray) -> np.ndarray:
     """Recursive-doubling AllReduce (sum) in ``ceil(log2 N)`` rounds.
 
     Works for any world size via a fold-in step for the non-power-of-two
-    remainder ranks.
+    remainder ranks.  Input dtype is preserved.
     """
-    array = np.asarray(array, dtype=np.float64).copy()
+    array = np.asarray(array).copy()
     size = comm.world_size
     if size == 1:
         return array
@@ -72,7 +85,7 @@ def tree_allreduce(comm: Communicator, array: np.ndarray) -> np.ndarray:
             comm.send(rank - 1, array)
             new_rank = -1
         else:
-            array = array + comm.recv(rank + 1)
+            comm.recv_into(rank + 1, array, accumulate=True)
             new_rank = rank // 2
     else:
         new_rank = rank - rem
@@ -82,8 +95,8 @@ def tree_allreduce(comm: Communicator, array: np.ndarray) -> np.ndarray:
         while mask < pof2:
             peer_new = new_rank ^ mask
             peer = peer_new * 2 if peer_new < rem else peer_new + rem
-            incoming = comm.sendrecv(peer, array, peer)
-            array = array + incoming
+            comm.send(peer, comm.snapshot(array))
+            comm.recv_into(peer, array, accumulate=True)
             mask <<= 1
 
     # Unfold: even ranks of the folded pairs send results back.
@@ -106,8 +119,9 @@ def hierarchical_allreduce(
 
     With ``gpus_per_node=1`` or a single node this degenerates to the
     plain ring.  Ranks are laid out node-major (ranks 0..w-1 on node 0).
+    Input dtype is preserved; all chunk sends are contiguous slice views.
     """
-    array = np.asarray(array, dtype=np.float64)
+    array = np.asarray(array)
     size = comm.world_size
     if size % gpus_per_node != 0:
         raise ValueError(
@@ -119,49 +133,72 @@ def hierarchical_allreduce(
 
     node = comm.rank // gpus_per_node
     local = comm.rank % gpus_per_node
-    flat = array.reshape(-1).copy()
-    chunks = np.array_split(np.arange(flat.size), gpus_per_node)
+    flat_in = np.ascontiguousarray(array).reshape(-1)
+    out = np.empty_like(flat_in)
+    b = ring_chunk_bounds(flat_in.size, gpus_per_node)
 
     # 1: intra-node reduce-scatter (ring among the node's ranks).
+    # Partial sums are forwarded as they form; only this rank's owned
+    # chunk is ever written locally.
     base = node * gpus_per_node
     right = base + (local + 1) % gpus_per_node
     left = base + (local - 1) % gpus_per_node
+    partial = None
     for step in range(gpus_per_node - 1):
         send_idx = (local - step) % gpus_per_node
-        recv_idx = (local - step - 1) % gpus_per_node
-        incoming = comm.sendrecv(right, flat[chunks[send_idx]], left)
-        flat[chunks[recv_idx]] += incoming
+        outgoing = flat_in[b[send_idx] : b[send_idx + 1]]
+        if step == 0:
+            comm.send(right, comm.snapshot(outgoing))
+        else:
+            comm.send_sum(right, partial, outgoing)
+        partial = comm.recv_view(left)
     # After g-1 ring steps, local rank l owns fully-reduced chunk (l+1)%g.
     owned = (local + 1) % gpus_per_node
-    my_chunk = flat[chunks[owned]].copy()
+    my_chunk = out[b[owned] : b[owned + 1]]  # view: updates land in out
+    np.add(
+        np.asarray(partial).reshape(-1),
+        flat_in[b[owned] : b[owned + 1]],
+        out=my_chunk,
+    )
 
     # 2: inter-node ring allreduce of my chunk among same-local ranks.
     peers = [n * gpus_per_node + local for n in range(num_nodes)]
     my_pos = peers.index(comm.rank)
-    sub = np.array_split(np.arange(my_chunk.size), num_nodes)
+    sb = ring_chunk_bounds(my_chunk.size, num_nodes)
     right_p = peers[(my_pos + 1) % num_nodes]
     left_p = peers[(my_pos - 1) % num_nodes]
+    partial = None
     for step in range(num_nodes - 1):
         send_idx = (my_pos - step) % num_nodes
-        recv_idx = (my_pos - step - 1) % num_nodes
-        incoming = comm.sendrecv(right_p, my_chunk[sub[send_idx]], left_p)
-        my_chunk[sub[recv_idx]] += incoming
+        outgoing = my_chunk[sb[send_idx] : sb[send_idx + 1]]
+        if step == 0:
+            comm.send(right_p, comm.snapshot(outgoing))
+        else:
+            comm.send_sum(right_p, partial, outgoing)
+        partial = comm.recv_view(left_p)
+    owned_sub = (my_pos + 1) % num_nodes
+    np.add(
+        np.asarray(partial).reshape(-1),
+        my_chunk[sb[owned_sub] : sb[owned_sub + 1]],
+        out=my_chunk[sb[owned_sub] : sb[owned_sub + 1]],
+    )
     for step in range(num_nodes - 1):
         send_idx = (my_pos + 1 - step) % num_nodes
         recv_idx = (my_pos - step) % num_nodes
-        incoming = comm.sendrecv(right_p, my_chunk[sub[send_idx]], left_p)
-        my_chunk[sub[recv_idx]] = incoming
-    flat[chunks[owned]] = my_chunk
+        comm.send(
+            right_p, comm.snapshot(my_chunk[sb[send_idx] : sb[send_idx + 1]])
+        )
+        comm.recv_into(left_p, my_chunk[sb[recv_idx] : sb[recv_idx + 1]])
 
-    # 3: intra-node allgather of the reduced chunks.
-    current = my_chunk
+    # 3: intra-node allgather of the reduced chunks, straight into place.
     current_idx = owned
     for step in range(gpus_per_node - 1):
-        incoming = comm.sendrecv(right, current, left)
+        comm.send(
+            right, comm.snapshot(out[b[current_idx] : b[current_idx + 1]])
+        )
         current_idx = (current_idx - 1) % gpus_per_node
-        flat[chunks[current_idx]] = incoming
-        current = incoming
-    return flat.reshape(array.shape)
+        comm.recv_into(left, out[b[current_idx] : b[current_idx + 1]])
+    return out.reshape(array.shape)
 
 
 def alltoallv(

@@ -14,22 +14,63 @@ from typing import Any
 
 import numpy as np
 
+from repro.tensors import SparseRows
+
 
 def payload_nbytes(obj: Any) -> int:
-    """Approximate wire size of a message."""
+    """Approximate wire size of a message.
+
+    Arrays count their buffer, :class:`~repro.tensors.SparseRows` counts
+    indices + values (its ``nbytes``), containers recurse, and plain
+    Python scalars count as the 8 bytes a binary wire format would give
+    them — so ``bytes_sent`` tracks the α-β cost model's payload term
+    instead of pickling overhead.
+    """
     if isinstance(obj, np.ndarray):
         return obj.nbytes
+    if isinstance(obj, SparseRows):
+        return int(obj.nbytes)
     if isinstance(obj, (tuple, list)):
         return sum(payload_nbytes(x) for x in obj)
     if isinstance(obj, dict):
         return sum(payload_nbytes(v) for v in obj.values())
+    if isinstance(obj, (bool, int, float, complex, np.generic)):
+        return 8
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8", errors="ignore"))
+    if obj is None:
+        return 0
     if hasattr(obj, "nbytes"):
         return int(obj.nbytes)
-    return 64  # headers / small scalars
+    return 64  # headers / unknown small objects
+
+
+def ring_chunk_bounds(n: int, parts: int) -> list[int]:
+    """Split points of ``np.array_split(range(n), parts)`` as flat offsets.
+
+    ``bounds[i]:bounds[i+1]`` is chunk ``i`` — a *contiguous slice*, so
+    ring collectives can send zero-copy views instead of fancy-indexed
+    copies.
+    """
+    base, extra = divmod(n, parts)
+    bounds = [0]
+    for i in range(parts):
+        bounds.append(bounds[-1] + base + (1 if i < extra else 0))
+    return bounds
 
 
 class Communicator:
     """Rank-local endpoint of a fully-connected group."""
+
+    #: True when ``_send`` captures the payload's bytes before returning,
+    #: so callers may send live views of buffers they mutate afterwards
+    #: (the shared-memory transport copies into its segment inside
+    #: ``_send``).  False for reference-passing backends (threads) and
+    #: deferred-pickling queues — there the collectives snapshot views
+    #: before sending.
+    SEND_SNAPSHOTS = False
 
     def __init__(self, rank: int, world_size: int):
         if not 0 <= rank < world_size:
@@ -74,6 +115,62 @@ class Communicator:
         self.send(dst, obj)
         return self.recv(src)
 
+    def snapshot(self, view: np.ndarray) -> np.ndarray:
+        """``view``, made safe to send while its backing buffer mutates.
+
+        Zero-copy on transports whose ``_send`` captures bytes
+        synchronously; an explicit copy elsewhere.  Ring collectives
+        route every chunk send through this.
+        """
+        return view if self.SEND_SNAPSHOTS else view.copy()
+
+    # -- zero-copy fusion hooks ------------------------------------------- #
+    # Ring collectives are memory-bandwidth bound, so the transports that
+    # can are allowed to skip intermediate buffers entirely: receive a
+    # payload as a view of transport-owned memory, reduce straight into
+    # the outgoing wire buffer, or land a received chunk directly in its
+    # final position.  The defaults below are plain compositions of
+    # ``send``/``recv`` — every backend (threads, queue pickling, fault
+    # injection wrappers) works unchanged; the shared-memory transport
+    # overrides them with genuinely copy-free implementations.
+
+    def recv_view(self, src: int) -> Any:
+        """Receive like :meth:`recv`, but the result's arrays may alias
+        transport-owned memory.
+
+        The view is guaranteed valid only until the next communication
+        call on this communicator — consume it (copy, reduce, or pass to
+        :meth:`send_sum`) before then.  Default: an owned :meth:`recv`.
+        """
+        if not 0 <= src < self.world_size:
+            raise ValueError(f"source {src} out of range")
+        return self._recv_view(src)
+
+    def _recv_view(self, src: int) -> Any:
+        return self._recv(src)
+
+    def recv_into(
+        self, src: int, out: np.ndarray, accumulate: bool = False
+    ) -> None:
+        """Receive an ndarray directly into ``out`` (``+=`` when
+        ``accumulate``); no intermediate allocation on zero-copy
+        transports."""
+        chunk = np.asarray(self.recv_view(src)).reshape(out.shape)
+        if accumulate:
+            np.add(out, chunk, out=out)
+        else:
+            np.copyto(out, chunk)
+
+    def send_sum(self, dst: int, x: np.ndarray, y: np.ndarray) -> None:
+        """Send the elementwise sum of two same-shape arrays to ``dst``.
+
+        Zero-copy transports reduce straight into the outgoing wire
+        buffer; the default materializes ``x + y`` and sends it.  ``x``
+        may be a live :meth:`recv_view` result — it is consumed before
+        this call returns.
+        """
+        self.send(dst, np.add(np.asarray(x), np.asarray(y)))
+
     # -- collectives ------------------------------------------------------ #
     def broadcast(self, obj: Any, root: int = 0) -> Any:
         """Binomial-tree broadcast from ``root``."""
@@ -117,33 +214,76 @@ class Communicator:
             out[src] = self.sendrecv(dst, objs[dst], src)
         return out
 
-    def allreduce(self, array: np.ndarray) -> np.ndarray:
+    def allreduce(
+        self, array: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Ring AllReduce (sum): reduce-scatter then allgather.
 
         The bandwidth-optimal algorithm of Patarasuk & Yuan (2009) used
-        by NCCL: ``2(N-1)`` transfers of ``n/N`` elements each.
+        by NCCL: ``2(N-1)`` transfers of ``n/N`` elements each.  The
+        input dtype is preserved (float32 gradients pay float32 wire
+        bytes), the input is never copied wholesale, and every partial
+        sum is forwarded the moment it is formed — on zero-copy
+        transports the reduction lands straight in the outgoing wire
+        buffer (:meth:`send_sum`) and received chunks land straight in
+        their final position (:meth:`recv_into`).
+
+        ``out``, when given, receives the result (shape, dtype, and
+        C-contiguity must match the input) — reusing one buffer across
+        steps avoids a large allocation per call.  ``out`` may be the
+        input array itself for in-place operation: the ring reads every
+        input chunk before the first output chunk is written.
         """
-        array = np.asarray(array, dtype=np.float64)
+        array = np.asarray(array)
         size = self.world_size
+        if out is not None:
+            out = np.asarray(out)
+            if (
+                out.shape != array.shape
+                or out.dtype != array.dtype
+                or not out.flags.c_contiguous
+            ):
+                raise ValueError(
+                    "out must be a C-contiguous array matching the "
+                    "input's shape and dtype"
+                )
         if size == 1:
-            return array.copy()
-        flat = array.reshape(-1).copy()
-        chunks = np.array_split(np.arange(flat.size), size)
+            if out is None:
+                return array.copy()
+            np.copyto(out, array)
+            return out
+        flat_in = np.ascontiguousarray(array).reshape(-1)
+        result = out if out is not None else np.empty(array.shape, array.dtype)
+        b = ring_chunk_bounds(flat_in.size, size)
+        flat_out = result.reshape(-1)
         right = (self.rank + 1) % size
         left = (self.rank - 1) % size
-        # Reduce-scatter.
+        # Reduce-scatter: partial sums only exist in flight; nothing is
+        # written locally until this rank's owned chunk is complete.
+        partial = None
         for step in range(size - 1):
             send_idx = (self.rank - step) % size
-            recv_idx = (self.rank - step - 1) % size
-            incoming = self.sendrecv(right, flat[chunks[send_idx]], left)
-            flat[chunks[recv_idx]] += incoming
-        # Allgather of the reduced chunks.
+            outgoing = flat_in[b[send_idx] : b[send_idx + 1]]
+            if step == 0:
+                self.send(right, self.snapshot(outgoing))
+            else:
+                self.send_sum(right, partial, outgoing)
+            partial = self.recv_view(left)
+        owned = (self.rank + 1) % size
+        np.add(
+            np.asarray(partial).reshape(-1),
+            flat_in[b[owned] : b[owned + 1]],
+            out=flat_out[b[owned] : b[owned + 1]],
+        )
+        # Allgather of the reduced chunks, received straight into place.
         for step in range(size - 1):
             send_idx = (self.rank + 1 - step) % size
             recv_idx = (self.rank - step) % size
-            incoming = self.sendrecv(right, flat[chunks[send_idx]], left)
-            flat[chunks[recv_idx]] = incoming
-        return flat.reshape(array.shape)
+            self.send(
+                right, self.snapshot(flat_out[b[send_idx] : b[send_idx + 1]])
+            )
+            self.recv_into(left, flat_out[b[recv_idx] : b[recv_idx + 1]])
+        return result
 
     def allreduce_mean(self, array: np.ndarray) -> np.ndarray:
         """Sum-allreduce divided by world size (gradient averaging)."""

@@ -1,0 +1,126 @@
+"""Framed wire protocol: structure templates + raw ndarray payload frames.
+
+A message is split into a small *template* describing its structure and a
+list of *frames* — contiguous ndarray buffers holding the bulk payload.
+The template replaces every array with a ``(frame index, dtype, shape)``
+descriptor, so transports can move the frames as raw bytes (e.g. through
+``multiprocessing.shared_memory`` segments) without ever pickling the
+numeric payload; only the template travels through the control channel.
+
+Structured payloads decompose without intermediate copies:
+
+* :class:`~repro.tensors.SparseRows` becomes two frames (indices, values)
+  plus its scalar metadata in the template;
+* tuples / lists / dicts recurse, so a tuple-of-arrays message such as
+  ``(indices, values, num_rows)`` becomes multi-segment frames;
+* anything else is embedded verbatim in the template (``("py", obj)``),
+  i.e. pickled by the control channel — the fallback for non-array
+  objects.
+
+Encoding is zero-copy for C-contiguous arrays (frames alias the caller's
+memory); transports that capture bytes synchronously (the shared-memory
+path) can therefore send live views.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.tensors import SparseRows
+
+#: Template node tags (kept two chars: templates travel on every message).
+_ND = "nd"  # (_ND, (frame, dtype str, shape))
+_SP = "sp"  # (_SP, idx descriptor, val descriptor, num_rows, coalesced)
+_TU = "tu"  # (_TU, (node, ...))
+_LI = "li"  # (_LI, [node, ...])
+_DI = "di"  # (_DI, ((key, node), ...))
+_PY = "py"  # (_PY, obj) — pickle fallback
+
+
+def encode_frames(obj: Any) -> tuple[Any, list[np.ndarray]]:
+    """Decompose ``obj`` into ``(template, frames)``.
+
+    Frames are C-contiguous ndarrays that may alias ``obj``'s memory —
+    transports that defer the byte capture must copy first.
+    """
+    frames: list[np.ndarray] = []
+    return _encode(obj, frames), frames
+
+
+def _encode(obj: Any, frames: list[np.ndarray]) -> Any:
+    if isinstance(obj, np.ndarray):
+        return (_ND, _frame(obj, frames))
+    if isinstance(obj, SparseRows):
+        idx = _frame(obj.indices, frames)
+        val = _frame(obj.values, frames)
+        return (_SP, idx, val, obj.num_rows, obj.coalesced)
+    if isinstance(obj, tuple):
+        return (_TU, tuple(_encode(x, frames) for x in obj))
+    if isinstance(obj, list):
+        return (_LI, [_encode(x, frames) for x in obj])
+    if isinstance(obj, dict):
+        return (_DI, tuple((k, _encode(v, frames)) for k, v in obj.items()))
+    return (_PY, obj)
+
+
+def _frame(arr: np.ndarray, frames: list[np.ndarray]) -> tuple:
+    """Append ``arr`` as a frame; return its (frame, dtype, shape) descriptor."""
+    arr = np.ascontiguousarray(arr)
+    frames.append(arr)
+    return (len(frames) - 1, arr.dtype.str, arr.shape)
+
+
+def ndarray_template(dtype: Any, shape: tuple) -> tuple:
+    """Template of a single-ndarray message whose one frame is buffer 0.
+
+    Lets transports emit an array they produced in place (e.g. a sum
+    reduced directly into a shared-memory segment) without running the
+    generic encoder.
+    """
+    return (_ND, (0, np.dtype(dtype).str, tuple(shape)))
+
+
+def decode_frames(template: Any, buffers: list[Any], copy: bool = True) -> Any:
+    """Rebuild the object from its template and raw frame buffers.
+
+    ``buffers[i]`` is any buffer-like (memoryview, bytes, ndarray) holding
+    exactly frame ``i``'s bytes.  With ``copy=True`` (the default) the
+    result owns its memory — required when the buffers are pooled
+    shared-memory segments that will be recycled.
+    """
+    return _decode(template, buffers, copy)
+
+
+def _decode(node: Any, buffers: list[Any], copy: bool) -> Any:
+    tag = node[0]
+    if tag == _ND:
+        return _materialize(node[1], buffers, copy)
+    if tag == _SP:
+        _, idx_desc, val_desc, num_rows, coalesced = node
+        return SparseRows(
+            _materialize(idx_desc, buffers, copy),
+            _materialize(val_desc, buffers, copy),
+            num_rows,
+            coalesced=coalesced,
+        )
+    if tag == _TU:
+        return tuple(_decode(x, buffers, copy) for x in node[1])
+    if tag == _LI:
+        return [_decode(x, buffers, copy) for x in node[1]]
+    if tag == _DI:
+        return {k: _decode(v, buffers, copy) for k, v in node[1]}
+    if tag == _PY:
+        return node[1]
+    raise AssertionError(f"unknown template node {node!r}")
+
+
+def _materialize(desc: tuple, buffers: list[Any], copy: bool) -> np.ndarray:
+    i, dtype, shape = desc
+    dt = np.dtype(dtype)
+    n = int(np.prod(shape)) if shape else 1
+    if n == 0:
+        return np.empty(shape, dtype=dt)
+    arr = np.frombuffer(buffers[i], dtype=dt, count=n).reshape(shape)
+    return arr.copy() if copy else arr

@@ -42,7 +42,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.comm import (
+    TRANSPORTS,
     Communicator,
+    ProcessGroup,
     allreduce_sparse_via_allgather,
     run_threaded,
 )
@@ -130,6 +132,8 @@ class RealTrainer:
         checkpoint_every: int = 0,
         checkpoint_dir: str | None = None,
         max_restarts: int = 4,
+        backend: str = "thread",
+        transport: str = "shm",
     ):
         """``dgc_ratio`` (optional) enables Deep-Gradient-Compression on
         the *dense* gradients: each rank top-k sparsifies with error
@@ -145,8 +149,18 @@ class RealTrainer:
         :meth:`train_resilient` (``checkpoint_every`` steps between
         checkpoints, at most ``max_restarts`` recoveries), which
         survives them; plain :meth:`train` lets the failure propagate.
+
+        ``backend`` selects where the workers live: ``"thread"`` (the
+        default — in-process, reference-passing links, fastest for
+        tests) or ``"process"`` — real OS processes over the
+        :class:`~repro.comm.ProcessGroup` backend, with ``transport``
+        choosing the wire path (``"shm"`` zero-copy segments or the
+        legacy ``"queue"`` pickle path).  Training is bit-identical
+        across backends and transports.
         """
         check_in("strategy", strategy, {"allgather", "allreduce", "embrace"})
+        check_in("backend", backend, {"thread", "process"})
+        check_in("transport", transport, set(TRANSPORTS))
         check_positive("world_size", world_size)
         check_positive("steps", steps)
         if dgc_ratio is not None and not 0.0 < dgc_ratio <= 1.0:
@@ -172,6 +186,8 @@ class RealTrainer:
         self.checkpoint_every = checkpoint_every
         self.checkpoint_dir = checkpoint_dir
         self.max_restarts = max_restarts
+        self.backend = backend
+        self.transport = transport
 
     # ------------------------------------------------------------------ #
     def _group_timeout(self) -> float:
@@ -179,11 +195,26 @@ class RealTrainer:
             return self.fault_plan.recv_deadline
         return DEFAULT_GROUP_TIMEOUT
 
+    def _launch(
+        self, *args, timeout: float, group: ProcessGroup | None = None
+    ) -> list[TrainResult]:
+        """Run :meth:`_worker` on every rank of the selected backend.
+
+        ``group``, when given, dispatches to an already-started
+        persistent :class:`~repro.comm.ProcessGroup` — warm workers and
+        links are reused instead of re-forked (restart attempts in
+        :meth:`train_resilient` ride the same pool).
+        """
+        if group is not None:
+            return group.run(self._worker, *args)
+        if self.backend == "process":
+            return ProcessGroup(
+                self.world_size, timeout=timeout, transport=self.transport
+            ).run(self._worker, *args)
+        return run_threaded(self.world_size, self._worker, *args, timeout=timeout)
+
     def train(self) -> TrainResult:
-        results = run_threaded(
-            self.world_size, self._worker, timeout=self._group_timeout()
-        )
-        return results[0]
+        return self._launch(timeout=self._group_timeout())[0]
 
     # ------------------------------------------------------------------ #
     def train_resilient(self) -> ResilientTrainResult:
@@ -216,19 +247,33 @@ class RealTrainer:
         restore_steps: list[int] = []
         steps_replayed = 0
         lost_wall = 0.0
+        # One persistent pool outlives every restart attempt: recovery
+        # re-dispatches to warm workers instead of re-forking the group.
+        group: ProcessGroup | None = None
+        if self.backend == "process":
+            group = ProcessGroup(
+                self.world_size,
+                timeout=plan.recv_deadline,
+                transport=self.transport,
+            ).start()
         try:
             while True:
                 attempts += 1
                 start = peek_step(path) if os.path.exists(path) else 0
                 started_at = time.perf_counter()
                 self.fault_plan = active
-                try:
-                    results = run_threaded(
+                if group is not None and group.broken:
+                    # A worker died mid-attempt (injected crash escaping
+                    # the service loop, OOM kill...): replace the pool.
+                    group.close()
+                    group = ProcessGroup(
                         self.world_size,
-                        self._worker,
-                        start,
-                        path,
-                        timeout=active.recv_deadline,
+                        timeout=plan.recv_deadline,
+                        transport=self.transport,
+                    ).start()
+                try:
+                    results = self._launch(
+                        start, path, timeout=active.recv_deadline, group=group
                     )
                     result = results[0]
                     break
@@ -248,6 +293,8 @@ class RealTrainer:
                     active = active.without_crashes_at_or_before(fired_step)
         finally:
             self.fault_plan = original_plan
+            if group is not None:
+                group.close()
         report = ResilienceReport(
             attempts=attempts,
             crash_events=crash_events,
@@ -288,6 +335,21 @@ class RealTrainer:
         fault_comm: FaultyCommunicator | None = None
         if self.fault_plan is not None:
             comm = fault_comm = FaultyCommunicator(comm, self.fault_plan)
+        try:
+            return self._train_loop(comm, start_step, checkpoint_path, fault_comm)
+        finally:
+            if fault_comm is not None:
+                # Deliver in-flight delayed sends before a process-backend
+                # worker tears down its transport — peers may still read.
+                fault_comm.drain()
+
+    def _train_loop(
+        self,
+        comm: Communicator,
+        start_step: int,
+        checkpoint_path: str | None,
+        fault_comm: FaultyCommunicator | None,
+    ) -> TrainResult:
         model = build_model(self.config, rng=np.random.default_rng(self.seed))
         model.train()
         tables = model.embedding_tables()

@@ -80,6 +80,12 @@ class _ReorderBuffer:
 class FaultyCommunicator(Communicator):
     """A :class:`Communicator` with plan-driven faults injected."""
 
+    #: Drops hold the payload for retransmission and delays hand it to a
+    #: timer thread, so the injector can never promise synchronous byte
+    #: capture — collectives must snapshot views before sending even when
+    #: the wrapped transport could take them zero-copy.
+    SEND_SNAPSHOTS = False
+
     def __init__(
         self,
         inner: Communicator,
@@ -93,6 +99,7 @@ class FaultyCommunicator(Communicator):
         self._rng = plan.rng_for(inner.rank)
         self._send_seq = [0] * inner.world_size
         self._reorder = [_ReorderBuffer() for _ in range(inner.world_size)]
+        self._timers: list[threading.Timer] = []
         self.stats = InjectionStats()
 
     # -- sender side ----------------------------------------------------- #
@@ -114,9 +121,25 @@ class FaultyCommunicator(Communicator):
         if extra > 0.0:
             timer = threading.Timer(extra, self._inner._send, args=(dst, envelope))
             timer.daemon = True
+            self._timers = [t for t in self._timers if t.is_alive()]
+            self._timers.append(timer)
             timer.start()
         else:
             self._inner._send(dst, envelope)
+
+    def drain(self) -> None:
+        """Block until every delayed (timer-thread) send has been handed
+        to the wrapped transport.
+
+        Call when this rank's work is done but peers may still be
+        waiting: a worker that exits with a send still pending tears
+        down its transport under the message (on the shared-memory
+        backend the segment pool closes and the late send is dropped),
+        turning an injected delay into an injected loss.
+        """
+        for timer in self._timers:
+            timer.join()
+        self._timers.clear()
 
     def _send(self, dst: int, obj: Any) -> None:
         envelope = (self._send_seq[dst], obj)
@@ -212,7 +235,11 @@ def run_threaded_with_faults(
     """
 
     def wrapped(comm: Communicator, *a, **k):
-        return fn(FaultyCommunicator(comm, plan), *a, **k)
+        faulty = FaultyCommunicator(comm, plan)
+        try:
+            return fn(faulty, *a, **k)
+        finally:
+            faulty.drain()
 
     return run_threaded(
         world_size,
@@ -228,9 +255,16 @@ def run_multiprocess_with_faults(
     fn: Callable[[FaultyCommunicator], Any],
     plan: FaultPlan,
     *args,
+    transport: str = "shm",
     **kwargs,
 ) -> list[Any]:
-    """Process-backend twin of :func:`run_threaded_with_faults`."""
+    """Process-backend twin of :func:`run_threaded_with_faults`.
+
+    ``transport`` selects the wire path (``"shm"`` zero-copy segments or
+    the legacy ``"queue"`` pickle path); the injector wraps the
+    ``_send``/``_recv`` surface either way, so drops, retransmissions,
+    and reordering behave identically on both.
+    """
     from repro.comm.process import run_multiprocess
 
     return run_multiprocess(
@@ -238,6 +272,7 @@ def run_multiprocess_with_faults(
         _FaultyEntrypoint(fn, plan),
         *args,
         timeout=plan.recv_deadline,
+        transport=transport,
         **kwargs,
     )
 
@@ -250,4 +285,10 @@ class _FaultyEntrypoint:
         self.plan = plan
 
     def __call__(self, comm: Communicator, *args, **kwargs):
-        return self.fn(FaultyCommunicator(comm, self.plan), *args, **kwargs)
+        faulty = FaultyCommunicator(comm, self.plan)
+        try:
+            return self.fn(faulty, *args, **kwargs)
+        finally:
+            # Deliver in-flight delayed sends before the worker reports
+            # and tears down its transport — peers may still be reading.
+            faulty.drain()

@@ -324,6 +324,34 @@ class TestResilientTraining:
         assert out.report.crash_events == [(0, 2), (1, 5)]
         assert out.result.losses == expected.losses
 
+    @pytest.mark.slow
+    def test_crash_recovery_on_process_shm_backend(self, tmp_path):
+        """The acceptance path: restart attempts reuse one persistent
+        shared-memory ProcessGroup, and recovery stays bit-exact."""
+        from repro.engine.trainer_real import RealTrainer
+        from repro.models import GNMT8
+
+        config = GNMT8.tiny()
+        kwargs = dict(strategy="allgather", world_size=2, steps=6, seed=5)
+        expected = RealTrainer(config, **kwargs).train()
+        plan = FaultPlan(seed=5, crashes={1: 5}, recv_deadline=5.0)
+        out = RealTrainer(
+            config,
+            fault_plan=plan,
+            checkpoint_every=2,
+            checkpoint_dir=str(tmp_path),
+            backend="process",
+            transport="shm",
+            **kwargs,
+        ).train_resilient()
+        assert out.report.attempts == 2
+        assert out.report.crash_events == [(1, 5)]
+        assert out.result.losses == expected.losses
+        for key in expected.state:
+            np.testing.assert_array_equal(
+                out.result.state[key], expected.state[key]
+            )
+
     def test_requires_checkpointing(self, tmp_path):
         _, resilient = self._trainers("allgather", tmp_path, crashes={})
         resilient.checkpoint_every = 0

@@ -198,3 +198,36 @@ class TestDensifiedAllReduceStrategy:
         embrace_bytes = RealTrainer(cfg, strategy="embrace", **kw).train().comm_bytes
         assert dense_bytes > sparse_bytes
         assert dense_bytes > embrace_bytes
+
+
+class TestProcessBackend:
+    """backend="process" trains bit-identically to the thread backend."""
+
+    def test_backend_validation(self):
+        with pytest.raises(ValueError):
+            RealTrainer(LM.tiny(), backend="mpi")
+        with pytest.raises(ValueError):
+            RealTrainer(LM.tiny(), backend="process", transport="tcp")
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("transport", ["shm", "queue"])
+    def test_matches_thread_backend(self, transport):
+        kw = dict(strategy="embrace", world_size=2, steps=3, seed=5)
+        ref = RealTrainer(GNMT8.tiny(), **kw).train()
+        got = RealTrainer(
+            GNMT8.tiny(), backend="process", transport=transport, **kw
+        ).train()
+        assert got.losses == ref.losses
+        for key in ref.state:
+            np.testing.assert_array_equal(got.state[key], ref.state[key],
+                                          err_msg=key)
+
+    @pytest.mark.slow
+    def test_allgather_strategy_on_shm(self):
+        kw = dict(strategy="allgather", world_size=2, steps=3, seed=5)
+        ref = RealTrainer(GNMT8.tiny(), **kw).train()
+        got = RealTrainer(GNMT8.tiny(), backend="process", **kw).train()
+        assert got.losses == ref.losses
+        for key in ref.state:
+            np.testing.assert_array_equal(got.state[key], ref.state[key],
+                                          err_msg=key)
