@@ -20,9 +20,10 @@ import tempfile
 
 import numpy as np
 
+from repro.comm import open_group
 from repro.engine.trainer_real import RealTrainer
 from repro.engine.trainer_sim import make_context
-from repro.faults import FaultPlan, RetryPolicy, degraded_step_time, run_threaded_with_faults
+from repro.faults import FaultPlan, RetryPolicy, degraded_step_time
 from repro.models import GNMT8
 from repro.strategies import ALL_STRATEGIES
 from repro.utils.tables import Table
@@ -60,7 +61,8 @@ def act2_real_backend(plan: FaultPlan, world: int) -> None:
             out = comm.allreduce(np.arange(8.0) * (comm.rank + 1))
         return out, comm.stats.as_dict()
 
-    results = run_threaded_with_faults(world, fn, plan)
+    with open_group(world, faults=plan) as group:
+        results = group.run(fn)
     expected = np.arange(8.0) * sum(range(1, world + 1))
     correct = all(np.allclose(data, expected) for data, _ in results)
     for rank, (_, stats) in enumerate(results):

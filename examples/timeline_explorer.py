@@ -2,10 +2,15 @@
 """Visualize one training step's execution timeline (paper Fig. 6).
 
 Simulates a steady-state step of any (model, cluster, strategy) cell
-and prints the two-lane compute/comm timeline plus its metrics.
+and prints the two-lane compute/comm timeline plus its metrics.  With
+``--real``, additionally runs the strategy's tiny-scale twin on the
+real backend with span recording (``repro.obs``) and overlays the
+*measured* rank-0 timeline under the predicted one — same `Trace`
+schema, same stall metric, different origin of the timestamps.
 
 Run:  python examples/timeline_explorer.py [--model GNMT-8]
       [--gpu rtx3090] [--world 16] [--strategy EmbRace] [--compare]
+      [--real] [--real-world 2] [--real-steps 3]
 """
 
 import argparse
@@ -29,6 +34,35 @@ def show(strategy_name: str, ctx) -> None:
     print()
 
 
+def show_real(strategy_name: str, model_name: str, world: int, steps: int) -> None:
+    """The measured counterpart: a traced tiny-scale run, rank 0's lanes."""
+    from repro.engine.run import RunConfig, real_strategy, run
+    from repro.obs import TraceConfig
+    from repro.sim.trace import Trace
+
+    try:
+        key = real_strategy(strategy_name)
+    except ValueError as exc:
+        print(f"--- (no real overlay: {exc})")
+        return
+    result = run(RunConfig(
+        model=get_config(model_name).tiny(), mode="real", strategy=key,
+        world_size=world, steps=steps, trace=TraceConfig(phases=False),
+    ))
+    rank0 = Trace([
+        e for e in result.trace.entries
+        if e.resource in ("compute:0", "comm:0")
+    ])
+    print(f"--- {strategy_name} measured (rank 0 of {world}, {steps} real steps)")
+    print(rank0.render_ascii(width=90))
+    print(
+        f"    wall {result.wall_time * 1e3:.1f} ms | stall "
+        f"{result.computation_stall() * 1e3:.2f} ms | comm busy "
+        f"{rank0.busy_time('comm:0') * 1e3:.2f} ms"
+    )
+    print()
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--model", default="GNMT-8", choices=sorted(PAPER_MODELS))
@@ -39,6 +73,15 @@ def main() -> None:
         "--compare", action="store_true",
         help="show every strategy instead of just --strategy",
     )
+    parser.add_argument(
+        "--real", action="store_true",
+        help="also run the tiny-scale twin on the real backend and "
+             "overlay its measured rank-0 timeline",
+    )
+    parser.add_argument("--real-world", type=int, default=2,
+                        help="workers for the --real overlay")
+    parser.add_argument("--real-steps", type=int, default=3,
+                        help="training steps for the --real overlay")
     args = parser.parse_args()
 
     ctx = make_context(get_config(args.model), args.gpu, args.world)
@@ -59,6 +102,8 @@ def main() -> None:
         print(summary.render())
     else:
         show(args.strategy, ctx)
+        if args.real:
+            show_real(args.strategy, args.model, args.real_world, args.real_steps)
 
 
 if __name__ == "__main__":

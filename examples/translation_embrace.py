@@ -2,11 +2,12 @@
 """Train a translation model with EmbRace semantics on real OS processes.
 
 Unlike the thread-backed tests, this example launches ``--world`` real
-worker *processes* (``repro.comm.ProcessGroup``) that execute the full
-EmbRace pipeline — AllGather of token ids, column-sharded embedding
-lookups redistributed by AlltoAll, Algorithm 1's prior/delayed split,
-sharded EmbraceAdam updates — and compares wall time and communication
-volume against the Horovod-AllGather baseline on the same data.
+worker *processes* (``repro.comm.open_group(backend="process")``) that
+execute the full EmbRace pipeline — AllGather of token ids,
+column-sharded embedding lookups redistributed by AlltoAll, Algorithm
+1's prior/delayed split, sharded EmbraceAdam updates — and compares
+wall time, communication volume and the measured §5.4 Computation
+Stall against the Horovod-AllGather baseline on the same data.
 
 Run:  python examples/translation_embrace.py [--world 2] [--steps 10]
 """
@@ -16,7 +17,7 @@ import time
 
 import numpy as np
 
-from repro.comm import ProcessGroup
+from repro.comm import CommGroup, open_group
 from repro.engine.trainer_real import RealTrainer
 from repro.eval import bleu, teacher_forced_argmax
 from repro.models import GNMT8
@@ -24,18 +25,19 @@ from repro.utils.tables import Table
 from repro.utils.units import fmt_bytes
 
 
-def run_strategy(group: ProcessGroup, config, strategy: str, steps: int, seed: int):
+def run_strategy(group: CommGroup, config, strategy: str, steps: int, seed: int):
     trainer = RealTrainer(
         config, strategy=strategy, world_size=group.world_size, steps=steps,
-        lr=5e-3, seed=seed, record_predictions=True, backend="process",
+        lr=5e-3, seed=seed, record_predictions=True, group=group,
     )
-    # RealTrainer's workers are backend-agnostic; dispatch them to the
-    # caller's persistent pool so both strategies reuse the same warm
-    # workers and shared-memory links (fork + link setup is paid once).
+    # RealTrainer's workers are backend-agnostic; dispatching through the
+    # caller's group means both strategies reuse the same warm worker
+    # pool and shared-memory links (fork + link setup is paid once) —
+    # and inherit the group's span recorder for the stall measurement.
     start = time.perf_counter()
-    results = group.run(trainer._worker)
+    result = trainer.train()
     elapsed = time.perf_counter() - start
-    return results[0], elapsed
+    return result, elapsed
 
 
 def main() -> None:
@@ -53,17 +55,19 @@ def main() -> None:
     )
 
     runs = {}
-    with ProcessGroup(args.world) as group:
+    with open_group(args.world, backend="process", trace=True) as group:
         for strategy in ("allgather", "embrace"):
             result, elapsed = run_strategy(
                 group, config, strategy, args.steps, args.seed
             )
             tokens = sum(result.tokens_per_step) * args.world
             runs[strategy] = result
+            stall = result.trace.computation_stall()
             print(
                 f"{strategy:10s}: {elapsed:6.2f}s wall, {tokens / elapsed:9,.0f} "
                 f"tokens/s, {fmt_bytes(result.comm_bytes)} sent by rank 0, "
-                f"final loss {result.losses[-1]:.4f}"
+                f"final loss {result.losses[-1]:.4f}, "
+                f"measured stall {stall * 1e3:.1f} ms"
             )
 
     table = Table(["step", "loss allgather", "loss embrace"], title="\nLoss curves")

@@ -125,12 +125,46 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.engine.step_simulator import simulate_step
-    from repro.engine.trainer_sim import make_context
     from repro.models import get_config
     from repro.sim.trace_export import write_chrome_trace
+
+    if args.real:
+        from repro.engine.run import RunConfig, run, real_strategy
+
+        try:
+            real_strategy(args.strategy)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        result = run(RunConfig(
+            model=get_config(args.model).tiny(),
+            mode="real",
+            strategy=args.strategy,
+            world_size=args.world,
+            steps=args.steps,
+            backend=args.backend,
+            trace=True,
+        ))
+        counters = result.raw.trace.total_counters()
+        write_chrome_trace(
+            result.trace, args.output,
+            process_name=f"{args.model}-{result.strategy}-real",
+            counters=counters,
+        )
+        print(f"wrote {args.output} ({len(result.trace.entries)} events, "
+              f"{result.world_size} ranks, wall {result.wall_time * 1e3:.2f} ms, "
+              f"stall {result.computation_stall() * 1e3:.2f} ms); "
+              "open in chrome://tracing or https://ui.perfetto.dev")
+        return 0
+
+    from repro.engine.step_simulator import simulate_step
+    from repro.engine.trainer_sim import make_context
     from repro.strategies import ALL_STRATEGIES
 
+    if args.world not in (4, 8, 16):
+        print("simulated traces use the paper's cluster sizes: "
+              "--world must be 4, 8, or 16", file=sys.stderr)
+        return 2
     ctx = make_context(get_config(args.model), args.gpu, args.world)
     report = simulate_step(ALL_STRATEGIES[args.strategy](), ctx)
     write_chrome_trace(report.trace, args.output,
@@ -193,9 +227,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("trace", help="export a step timeline (Chrome trace)")
     p.add_argument("--model", default="GNMT-8", choices=models)
     p.add_argument("--gpu", default="rtx3090", choices=("rtx3090", "rtx2080"))
-    p.add_argument("--world", type=int, default=16, choices=(4, 8, 16))
+    p.add_argument("--world", type=int, default=16)
     p.add_argument("--strategy", default="EmbRace", choices=sorted(ALL_STRATEGIES))
     p.add_argument("-o", "--output", default="step_trace.json")
+    p.add_argument("--real", action="store_true",
+                   help="trace a real tiny-scale training run instead of "
+                        "the simulator (per-rank span recording)")
+    p.add_argument("--backend", default="thread", choices=("thread", "process"),
+                   help="worker backend for --real")
+    p.add_argument("--steps", type=int, default=3,
+                   help="training steps for --real")
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("sizes", help="print Table 1")

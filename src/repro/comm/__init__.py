@@ -14,12 +14,18 @@ Two interchangeable backends expose the same :class:`Communicator` API:
 * :class:`ProcessGroup` — N spawned processes with OS pipes (true
   parallelism; used by the examples).
 
+:func:`open_group` is the preferred entry point: one context-manager
+factory covering both backends plus fault injection (``faults=``) and
+span tracing (``trace=``).  Direct ``ThreadGroup`` / ``ProcessGroup``
+construction still works but is deprecated.
+
 Collective algorithms are implemented once, against the primitive
 ``send``/``recv``/``barrier`` surface, in :mod:`primitives`.
 """
 
 from repro.comm.backend import Communicator, payload_nbytes, ring_chunk_bounds
 from repro.comm.frames import decode_frames, encode_frames
+from repro.comm.group import BACKENDS, CommGroup, open_group
 from repro.comm.local import ThreadGroup, run_threaded
 from repro.comm.process import TRANSPORTS, ProcessGroup, run_multiprocess
 from repro.comm.sparse import (
@@ -31,6 +37,9 @@ from repro.comm.sparse import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "CommGroup",
+    "open_group",
     "Communicator",
     "payload_nbytes",
     "ring_chunk_bounds",

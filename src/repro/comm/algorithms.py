@@ -22,8 +22,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.comm.backend import Communicator, ring_chunk_bounds
+from repro.obs.instrument import traced_collective
 
 
+@traced_collective("reduce_scatter")
 def reduce_scatter(comm: Communicator, array: np.ndarray) -> np.ndarray:
     """Ring reduce-scatter: returns this rank's fully-reduced chunk.
 
@@ -61,6 +63,7 @@ def reduce_scatter(comm: Communicator, array: np.ndarray) -> np.ndarray:
     return out
 
 
+@traced_collective("tree_allreduce")
 def tree_allreduce(comm: Communicator, array: np.ndarray) -> np.ndarray:
     """Recursive-doubling AllReduce (sum) in ``ceil(log2 N)`` rounds.
 
@@ -108,6 +111,7 @@ def tree_allreduce(comm: Communicator, array: np.ndarray) -> np.ndarray:
     return array
 
 
+@traced_collective("hierarchical_allreduce")
 def hierarchical_allreduce(
     comm: Communicator, array: np.ndarray, gpus_per_node: int
 ) -> np.ndarray:
@@ -201,6 +205,7 @@ def hierarchical_allreduce(
     return out.reshape(array.shape)
 
 
+@traced_collective("alltoallv")
 def alltoallv(
     comm: Communicator, send_blocks: list[np.ndarray]
 ) -> list[np.ndarray]:
@@ -217,6 +222,7 @@ def alltoallv(
     return comm.alltoall([np.asarray(b) for b in send_blocks])
 
 
+@traced_collective("gather")
 def gather(comm: Communicator, obj, root: int = 0) -> list | None:
     """Rooted gather: root returns the rank-ordered list, others None."""
     if comm.rank == root:
@@ -230,6 +236,7 @@ def gather(comm: Communicator, obj, root: int = 0) -> list | None:
     return None
 
 
+@traced_collective("scatter")
 def scatter(comm: Communicator, objs: list | None, root: int = 0):
     """Rooted scatter: root provides one object per rank."""
     if comm.rank == root:

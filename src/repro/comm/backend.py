@@ -14,6 +14,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs.recorder import NULL_RECORDER
 from repro.tensors import SparseRows
 
 
@@ -72,6 +73,12 @@ class Communicator:
     #: before sending.
     SEND_SNAPSHOTS = False
 
+    #: Span recorder (:mod:`repro.obs`).  The class-level default is the
+    #: shared no-op, so untraced communicators pay a single ``enabled``
+    #: check per operation; ``repro.obs.install_recorder`` swaps in a
+    #: live :class:`~repro.obs.SpanRecorder` per instance.
+    obs = NULL_RECORDER
+
     def __init__(self, rank: int, world_size: int):
         if not 0 <= rank < world_size:
             raise ValueError(f"rank {rank} out of range for world size {world_size}")
@@ -90,6 +97,15 @@ class Communicator:
     def barrier(self) -> None:  # pragma: no cover
         raise NotImplementedError
 
+    def transport_counters(self) -> dict[str, float]:
+        """End-of-run transport statistics for :mod:`repro.obs` scraping.
+
+        Backends with interesting internals (the shared-memory segment
+        pool) override this; the numbers are tracked by the transport
+        anyway, so reporting them costs nothing on the hot path.
+        """
+        return {}
+
     # -- point to point -------------------------------------------------- #
     def send(self, dst: int, obj: Any) -> None:
         if dst == self.rank:
@@ -98,12 +114,26 @@ class Communicator:
             raise ValueError(f"destination {dst} out of range")
         self.bytes_sent += payload_nbytes(obj)
         self.messages_sent += 1
+        obs = self.obs
+        if not obs.enabled:
+            self._send(dst, obj)
+            return
+        obs.count_bytes(obj)
+        t0 = obs.t()
         self._send(dst, obj)
+        obs.rec_phase("send", t0)
 
     def recv(self, src: int) -> Any:
         if not 0 <= src < self.world_size:
             raise ValueError(f"source {src} out of range")
-        return self._recv(src)
+        obs = self.obs
+        if not obs.enabled:
+            return self._recv(src)
+        t0 = obs.t()
+        try:
+            return self._recv(src)
+        finally:
+            obs.rec_phase("recv", t0)
 
     def sendrecv(self, dst: int, obj: Any, src: int) -> Any:
         """Combined exchange: send to ``dst``, receive from ``src``.
@@ -144,7 +174,14 @@ class Communicator:
         """
         if not 0 <= src < self.world_size:
             raise ValueError(f"source {src} out of range")
-        return self._recv_view(src)
+        obs = self.obs
+        if not obs.enabled:
+            return self._recv_view(src)
+        t0 = obs.t()
+        try:
+            return self._recv_view(src)
+        finally:
+            obs.rec_phase("recv", t0)
 
     def _recv_view(self, src: int) -> Any:
         return self._recv(src)
@@ -172,8 +209,29 @@ class Communicator:
         self.send(dst, np.add(np.asarray(x), np.asarray(y)))
 
     # -- collectives ------------------------------------------------------ #
+    def _traced(self, name: str):
+        """Start a collective-level span; returns ``(obs, t0)``.
+
+        Collective spans live on the ``"comm"`` lane (kind ``"comm"``),
+        wait time included — that is the lane whose exposure outside
+        compute activity *is* the §5.4 Computation Stall.  Per-primitive
+        phases inside them land on ``"comm.phase"``, and nested
+        collectives (composed algorithms) record only their outermost
+        span (see :meth:`repro.obs.SpanRecorder.coll_begin`).
+        """
+        obs = self.obs
+        return (obs, obs.coll_begin()) if obs.enabled else (None, 0.0)
+
     def broadcast(self, obj: Any, root: int = 0) -> Any:
         """Binomial-tree broadcast from ``root``."""
+        obs, t0 = self._traced("broadcast")
+        try:
+            return self._broadcast(obj, root)
+        finally:
+            if obs is not None:
+                obs.coll_end("broadcast", t0)
+
+    def _broadcast(self, obj: Any, root: int) -> Any:
         size, rank = self.world_size, (self.rank - root) % self.world_size
         mask = 1
         while mask < size:
@@ -188,6 +246,14 @@ class Communicator:
 
     def allgather(self, obj: Any) -> list[Any]:
         """Ring allgather: returns ``[obj_rank0, ..., obj_rankN-1]``."""
+        obs, t0 = self._traced("allgather")
+        try:
+            return self._allgather(obj)
+        finally:
+            if obs is not None:
+                obs.coll_end("allgather", t0)
+
+    def _allgather(self, obj: Any) -> list[Any]:
         size = self.world_size
         out: list[Any] = [None] * size
         out[self.rank] = obj
@@ -202,6 +268,14 @@ class Communicator:
     def alltoall(self, objs: list[Any]) -> list[Any]:
         """Personalized exchange: ``objs[j]`` goes to rank ``j``; returns
         the list received (index = source rank)."""
+        obs, t0 = self._traced("alltoall")
+        try:
+            return self._alltoall(objs)
+        finally:
+            if obs is not None:
+                obs.coll_end("alltoall", t0)
+
+    def _alltoall(self, objs: list[Any]) -> list[Any]:
         if len(objs) != self.world_size:
             raise ValueError(
                 f"alltoall needs {self.world_size} slots, got {len(objs)}"
@@ -234,6 +308,14 @@ class Communicator:
         input array itself for in-place operation: the ring reads every
         input chunk before the first output chunk is written.
         """
+        obs, t0 = self._traced("allreduce")
+        try:
+            return self._allreduce(array, out)
+        finally:
+            if obs is not None:
+                obs.coll_end("allreduce", t0)
+
+    def _allreduce(self, array: np.ndarray, out: np.ndarray | None) -> np.ndarray:
         array = np.asarray(array)
         size = self.world_size
         if out is not None:

@@ -1,0 +1,222 @@
+"""One front door for every way of opening a communicator group.
+
+Historically each capability had its own entry point: ``ThreadGroup`` /
+``ProcessGroup`` constructors for the backends, ``run_*_with_faults``
+helpers for injection, and (with :mod:`repro.obs`) per-call-site
+recorder wiring for tracing.  :func:`open_group` collapses them into a
+single context-manager factory::
+
+    with open_group(4, backend="process", trace=True) as group:
+        results = group.run(train_step)
+        stall = group.last_trace.computation_stall()
+
+``faults=`` takes a :class:`~repro.faults.plan.FaultPlan` and wraps each
+rank's communicator in a :class:`~repro.faults.inject.FaultyCommunicator`
+(drained before the rank reports); ``trace=`` takes ``True`` or a
+:class:`~repro.obs.TraceConfig` and installs a per-rank
+:class:`~repro.obs.SpanRecorder`, rebased after an opening barrier so
+all ranks share a time origin.  Traced runs ship their spans to rank 0
+over the group's own wire and the merged
+:class:`~repro.obs.TraceBundle` lands on :attr:`CommGroup.last_trace`.
+
+The old constructors still work but emit ``DeprecationWarning``; the
+``run_threaded`` / ``run_multiprocess`` helpers remain as thin
+single-shot conveniences.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable
+
+from repro.comm.local import ThreadGroup, run_threaded
+from repro.comm.process import DEFAULT_TIMEOUT, TRANSPORTS, ProcessGroup
+from repro.obs.merge import TraceBundle, gather_spans, install_recorder, scrape_counters
+from repro.obs.recorder import SpanRecorder, TraceConfig, as_trace_config
+from repro.utils.validation import check_in, check_positive
+
+#: Supported ``backend=`` values.
+BACKENDS = ("thread", "process")
+
+#: Default blocking-primitive timeout for the thread backend (the process
+#: backend uses :data:`repro.comm.process.DEFAULT_TIMEOUT`).
+THREAD_TIMEOUT = 60.0
+
+
+class _GroupEntry:
+    """Picklable per-rank wrapper applying faults + tracing around ``fn``.
+
+    Returns ``(result, bundle)`` where ``bundle`` is the merged
+    :class:`~repro.obs.TraceBundle` on rank 0 of a traced run and
+    ``None`` everywhere else.
+    """
+
+    def __init__(self, fn: Callable, plan, trace: TraceConfig | None):
+        self.fn = fn
+        self.plan = plan
+        self.trace = trace
+
+    def __call__(self, comm, *args, **kwargs):
+        faulty = None
+        if self.plan is not None:
+            from repro.faults.inject import FaultyCommunicator
+
+            comm = faulty = FaultyCommunicator(comm, self.plan)
+        recorder = None
+        if self.trace is not None:
+            recorder = SpanRecorder.from_config(comm.rank, self.trace)
+            install_recorder(comm, recorder)
+            # Shared time origin: everyone rebases right after release.
+            comm.barrier()
+            recorder.rebase()
+        try:
+            result = self.fn(comm, *args, **kwargs)
+        finally:
+            if faulty is not None:
+                # Deliver in-flight delayed sends before reporting/teardown.
+                faulty.drain()
+        bundle = None
+        if recorder is not None:
+            scrape_counters(comm, recorder)
+            # Ship over the innermost transport: the injector must not
+            # drop or delay the trace frames themselves.
+            base = comm
+            while getattr(base, "_inner", None) is not None:
+                base = base._inner
+            bundle = gather_spans(base, recorder, finalize=False)
+        return result, bundle
+
+
+def _picklable(*objs: Any) -> bool:
+    try:
+        pickle.dumps(objs)
+        return True
+    except Exception:
+        return False
+
+
+class CommGroup:
+    """A communicator group opened by :func:`open_group`.
+
+    ``run(fn, *args, **kwargs)`` executes ``fn(comm, ...)`` on every
+    rank and returns per-rank results in rank order — the same contract
+    as :meth:`repro.comm.ProcessGroup.run` — with the configured fault
+    injection and tracing applied transparently.  After a traced run,
+    :attr:`last_trace` holds the merged :class:`~repro.obs.TraceBundle`.
+
+    Process-backed groups keep a persistent worker pool: it is forked on
+    the first :meth:`run` whose callable is picklable (closures fall
+    back to one-shot forking, preserving the historical semantics) and
+    released by :meth:`close` / context-manager exit.
+    """
+
+    def __init__(
+        self,
+        world_size: int,
+        *,
+        backend: str = "thread",
+        transport: str = "shm",
+        faults=None,
+        timeout: float | None = None,
+        trace=None,
+    ):
+        check_positive("world_size", world_size)
+        check_in("backend", backend, set(BACKENDS))
+        check_in("transport", transport, set(TRANSPORTS))
+        if timeout is None:
+            if faults is not None:
+                timeout = faults.recv_deadline
+            else:
+                timeout = THREAD_TIMEOUT if backend == "thread" else DEFAULT_TIMEOUT
+        check_positive("timeout", timeout)
+        self.world_size = world_size
+        self.backend = backend
+        self.transport = transport
+        self.faults = faults
+        self.timeout = timeout
+        self.trace = as_trace_config(trace)
+        #: Merged trace of the most recent traced ``run`` (rank 0 merge);
+        #: ``None`` when tracing is off.
+        self.last_trace: TraceBundle | None = None
+        self._pgroup: ProcessGroup | None = (
+            ProcessGroup._create(world_size, timeout=timeout, transport=transport)
+            if backend == "process"
+            else None
+        )
+
+    def __enter__(self) -> "CommGroup":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the persistent worker pool (no-op for threads)."""
+        if self._pgroup is not None:
+            self._pgroup.close()
+
+    def run(self, fn: Callable, *args, **kwargs) -> list[Any]:
+        """Run ``fn(comm, *args, **kwargs)`` on every rank; results in
+        rank order."""
+        entry = _GroupEntry(fn, self.faults, self.trace)
+        if self.backend == "thread":
+            outs = run_threaded(
+                self.world_size, entry, *args, timeout=self.timeout, **kwargs
+            )
+        else:
+            if (
+                not self._pgroup.started
+                and not self._pgroup.broken
+                and _picklable(entry, args, kwargs)
+            ):
+                self._pgroup.start()
+            outs = self._pgroup.run(entry, *args, **kwargs)
+        self.last_trace = outs[0][1] if self.trace is not None else None
+        return [result for result, _bundle in outs]
+
+
+def open_group(
+    world_size: int,
+    *,
+    backend: str = "thread",
+    transport: str = "shm",
+    faults=None,
+    timeout: float | None = None,
+    trace=None,
+) -> CommGroup:
+    """Open a communicator group: the one factory for backends, fault
+    injection, and tracing.
+
+    Parameters
+    ----------
+    world_size:
+        Number of ranks.
+    backend:
+        ``"thread"`` (deterministic, cheap — the test default) or
+        ``"process"`` (real OS processes with the zero-copy wire).
+    transport:
+        Process-backend wire: ``"shm"`` (framed zero-copy segments,
+        default) or ``"queue"`` (legacy pickle path).  Ignored by the
+        thread backend, whose links are in-process queues.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan`; every rank's
+        communicator is wrapped in a fault injector driven by it.
+    timeout:
+        Blocking-primitive timeout.  Defaults to the fault plan's
+        ``recv_deadline`` when injecting, else the backend's default.
+    trace:
+        ``True`` / :class:`~repro.obs.TraceConfig` to record per-rank
+        span timelines; merged results appear on
+        :attr:`CommGroup.last_trace` after each :meth:`CommGroup.run`.
+    """
+    return CommGroup(
+        world_size,
+        backend=backend,
+        transport=transport,
+        faults=faults,
+        timeout=timeout,
+        trace=trace,
+    )
+
+
+__all__ = ["BACKENDS", "CommGroup", "open_group", "ProcessGroup", "ThreadGroup"]

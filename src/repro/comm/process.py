@@ -19,9 +19,10 @@ per-link state that is actually expensive — shared-memory segment pools
 — is built lazily by the first send that needs it and reused for the
 lifetime of the worker.
 
-:class:`ProcessGroup` is context-managed and persistent::
+:class:`ProcessGroup` is context-managed and persistent; open one
+through the :func:`repro.comm.open_group` factory::
 
-    with ProcessGroup(4) as group:
+    with open_group(4, backend="process") as group:
         for step in range(100):
             group.run(train_step, step)   # same workers, warm links
 
@@ -46,6 +47,7 @@ import os
 import pickle
 import queue
 import time
+import warnings
 from collections import deque
 from typing import Any, Callable
 
@@ -185,6 +187,8 @@ class ProcessCommunicator(Communicator):
             raise ValueError(f"destination {dst} out of range")
         self.bytes_sent += x.nbytes
         self.messages_sent += 1
+        obs = self.obs
+        t0 = obs.t() if obs.enabled else 0.0
         rt.drain_acks()
         try:
             seg = rt.pool.acquire(x.nbytes)
@@ -204,6 +208,9 @@ class ProcessCommunicator(Communicator):
                 [(seg.name, x.nbytes)],
             )
         )
+        if obs.enabled:
+            obs.count(f"wire_bytes.{x.dtype.name}", x.nbytes)
+            obs.rec_phase("send_sum", t0)
 
     def _recv(self, src: int) -> Any:
         return self._decode_entry(src, self._wait(src), copy=True)
@@ -215,6 +222,10 @@ class ProcessCommunicator(Communicator):
         """Block until a current-epoch message from ``src`` is stashed."""
         self._flush_acks()  # any prior recv_view is dead by contract
         stash = self._stash[src]
+        if stash:
+            return stash.popleft()
+        obs = self.obs
+        t0 = obs.t() if obs.enabled else 0.0
         deadline = time.monotonic() + self.timeout
         while not stash:
             remaining = deadline - time.monotonic()
@@ -225,6 +236,8 @@ class ProcessCommunicator(Communicator):
             except queue.Empty:
                 break
             self._ingest(msg)
+        if obs.enabled:  # blocking portion of the receive: segment wait
+            obs.rec_phase("segment_wait", t0)
         if not stash:
             raise TimeoutError(
                 f"rank {self.rank}: no message from rank {src} within "
@@ -275,7 +288,25 @@ class ProcessCommunicator(Communicator):
 
     def barrier(self) -> None:
         self._flush_acks()
+        obs = self.obs
+        if not obs.enabled:
+            self._barrier.wait(timeout=self.timeout)
+            return
+        t0 = obs.t()
         self._barrier.wait(timeout=self.timeout)
+        obs.rec_phase("barrier", t0)
+
+    def transport_counters(self) -> dict[str, float]:
+        """Segment-pool and attachment statistics (see :mod:`repro.obs`)."""
+        rt = self._rt
+        out: dict[str, float] = {"shm.attachments": float(len(rt.attachments))}
+        if rt._pool is not None:
+            pool = rt._pool
+            out["segpool.hits"] = float(pool.hits)
+            out["segpool.misses"] = float(pool.misses)
+            out["segpool.segments"] = float(len(pool))
+            out["segpool.bytes"] = float(pool.pooled_bytes)
+        return out
 
 
 class _STALE:
@@ -366,6 +397,30 @@ class ProcessGroup:
         timeout: float = DEFAULT_TIMEOUT,
         transport: str = "shm",
     ):
+        warnings.warn(
+            "constructing ProcessGroup directly is deprecated; use "
+            "repro.comm.open_group(world_size, backend='process', ...) — "
+            "one factory covers threads, processes, fault injection, and "
+            "tracing",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._init(world_size, timeout, transport)
+
+    @classmethod
+    def _create(
+        cls,
+        world_size: int,
+        timeout: float = DEFAULT_TIMEOUT,
+        transport: str = "shm",
+    ) -> "ProcessGroup":
+        """Internal constructor (no deprecation warning) for the
+        :func:`repro.comm.open_group` factory and legacy helpers."""
+        self = cls.__new__(cls)
+        self._init(world_size, timeout, transport)
+        return self
+
+    def _init(self, world_size: int, timeout: float, transport: str) -> None:
         check_positive("world_size", world_size)
         check_positive("timeout", timeout)
         check_in("transport", transport, set(TRANSPORTS))
@@ -600,6 +655,6 @@ def run_multiprocess(
     **kwargs,
 ) -> list[Any]:
     """Run ``fn(comm, *args)`` on ``world_size`` processes; results in rank order."""
-    return ProcessGroup(world_size, timeout=timeout, transport=transport).run(
+    return ProcessGroup._create(world_size, timeout=timeout, transport=transport).run(
         fn, *args, **kwargs
     )

@@ -95,6 +95,10 @@ class SegmentPool:
         self._free: dict[int, list[str]] = {}
         self._lock = threading.Lock()
         self._closed = False
+        # Recycling effectiveness (hit = reused segment, miss = fresh
+        # allocation); scraped into `segpool.*` counters by repro.obs.
+        self.hits = 0
+        self.misses = 0
 
     def __len__(self) -> int:
         return len(self._segments)
@@ -121,7 +125,9 @@ class SegmentPool:
                 raise RuntimeError("segment pool is closed")
             bucket = self._free.get(cls)
             if bucket:
+                self.hits += 1
                 return self._segments[bucket.pop()]
+            self.misses += 1
             self._seq += 1
             name = f"{SEGMENT_PREFIX}{self._owner_tag}-{os.getpid()}-{self._seq}"
             seg = shared_memory.SharedMemory(name=name, create=True, size=cls)
@@ -172,6 +178,9 @@ class AttachmentCache:
     def __init__(self):
         bypass_resource_tracker()
         self._attached: dict[str, shared_memory.SharedMemory] = {}
+
+    def __len__(self) -> int:
+        return len(self._attached)
 
     def view(self, name: str, nbytes: int) -> memoryview:
         seg = self._attached.get(name)

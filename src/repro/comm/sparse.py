@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.comm.backend import Communicator
+from repro.obs.instrument import traced_collective
 from repro.tensors import SparseRows
 
 
@@ -28,6 +29,7 @@ def column_slices(dim: int, world_size: int) -> list[slice]:
     return slices
 
 
+@traced_collective("allgather_sparse")
 def allgather_sparse(comm: Communicator, grad: SparseRows) -> list[SparseRows]:
     """Gather every rank's sparse gradient (Horovod-AllGather semantics)."""
     payload = (grad.indices, grad.values, grad.num_rows)
@@ -37,6 +39,7 @@ def allgather_sparse(comm: Communicator, grad: SparseRows) -> list[SparseRows]:
     ]
 
 
+@traced_collective("allreduce_sparse")
 def allreduce_sparse_via_allgather(comm: Communicator, grad: SparseRows) -> SparseRows:
     """Sum of all ranks' sparse gradients, coalesced, rank-ordered.
 
@@ -50,6 +53,7 @@ def allreduce_sparse_via_allgather(comm: Communicator, grad: SparseRows) -> Spar
     return SparseRows.concat(parts).coalesce()
 
 
+@traced_collective("alltoall_column_shards")
 def alltoall_column_shards(
     comm: Communicator, grad: SparseRows
 ) -> SparseRows:
@@ -78,6 +82,7 @@ def alltoall_column_shards(
     return SparseRows.concat(parts).coalesce()
 
 
+@traced_collective("alltoall_lookup_results")
 def alltoall_lookup_results(
     comm: Communicator,
     all_ids: list[np.ndarray],

@@ -20,8 +20,12 @@ from repro.engine.trainer_real import (
     ResilientTrainResult,
     TrainResult,
 )
+from repro.engine.run import RunConfig, RunResult, run
 
 __all__ = [
+    "RunConfig",
+    "RunResult",
+    "run",
     "WorkloadStats",
     "measure_workload",
     "StepReport",

@@ -36,6 +36,7 @@ from __future__ import annotations
 import os
 import tempfile
 import time
+import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
@@ -43,10 +44,18 @@ import numpy as np
 
 from repro.comm import (
     TRANSPORTS,
+    CommGroup,
     Communicator,
     ProcessGroup,
     allreduce_sparse_via_allgather,
     run_threaded,
+)
+from repro.obs import (
+    SpanRecorder,
+    TraceBundle,
+    as_trace_config,
+    gather_spans,
+    install_recorder,
 )
 from repro.engine.checkpoint import (
     load_checkpoint,
@@ -80,6 +89,9 @@ class TrainResult:
     comm_bytes: int = 0
     predictions: list[np.ndarray] = field(default_factory=list)
     val_losses: list[float] = field(default_factory=list)  # one per eval point
+    wall_time: float = 0.0  # this rank's training-loop seconds
+    #: Merged :class:`repro.obs.TraceBundle` of a traced run (rank 0 only).
+    trace: TraceBundle | None = None
 
 
 @dataclass
@@ -132,8 +144,10 @@ class RealTrainer:
         checkpoint_every: int = 0,
         checkpoint_dir: str | None = None,
         max_restarts: int = 4,
-        backend: str = "thread",
-        transport: str = "shm",
+        backend: str | None = None,
+        transport: str | None = None,
+        trace=None,
+        group: CommGroup | None = None,
     ):
         """``dgc_ratio`` (optional) enables Deep-Gradient-Compression on
         the *dense* gradients: each rank top-k sparsifies with error
@@ -150,15 +164,40 @@ class RealTrainer:
         checkpoints, at most ``max_restarts`` recoveries), which
         survives them; plain :meth:`train` lets the failure propagate.
 
-        ``backend`` selects where the workers live: ``"thread"`` (the
-        default — in-process, reference-passing links, fastest for
-        tests) or ``"process"`` — real OS processes over the
-        :class:`~repro.comm.ProcessGroup` backend, with ``transport``
-        choosing the wire path (``"shm"`` zero-copy segments or the
-        legacy ``"queue"`` pickle path).  Training is bit-identical
-        across backends and transports.
+        ``group`` (preferred) is a :class:`~repro.comm.CommGroup` from
+        :func:`repro.comm.open_group` — it decides where the workers
+        live; passing ``backend=``/``transport=`` directly still works
+        but is deprecated.  ``"thread"`` (the default) runs in-process
+        with reference-passing links (fastest for tests); ``"process"``
+        uses real OS processes over the :class:`~repro.comm.ProcessGroup`
+        backend, with ``transport`` choosing the wire path (``"shm"``
+        zero-copy segments or the legacy ``"queue"`` pickle path).
+        Training is bit-identical across backends and transports.
+
+        ``trace`` (``True`` or a :class:`~repro.obs.TraceConfig`)
+        records per-rank span timelines — compute blocks, collectives,
+        transport phases — merged on rank 0 into
+        :attr:`TrainResult.trace`, the same :class:`~repro.sim.trace.
+        Trace` schema the simulator emits.
         """
         check_in("strategy", strategy, {"allgather", "allreduce", "embrace"})
+        if backend is not None or transport is not None:
+            warnings.warn(
+                "RealTrainer(backend=..., transport=...) is deprecated; pass "
+                "group=repro.comm.open_group(world_size, backend=..., "
+                "transport=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if group is not None and group.world_size != world_size:
+            raise ValueError(
+                f"group.world_size ({group.world_size}) != world_size "
+                f"({world_size})"
+            )
+        if backend is None:
+            backend = group.backend if group is not None else "thread"
+        if transport is None:
+            transport = group.transport if group is not None else "shm"
         check_in("backend", backend, {"thread", "process"})
         check_in("transport", transport, set(TRANSPORTS))
         check_positive("world_size", world_size)
@@ -188,8 +227,18 @@ class RealTrainer:
         self.max_restarts = max_restarts
         self.backend = backend
         self.transport = transport
+        self.trace = as_trace_config(trace)
+        self.group = group
 
     # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Process-backend dispatch pickles the bound ``_worker`` method;
+        the launcher-side group handle (live queues, forked processes)
+        is not needed — or picklable — inside a worker."""
+        state = self.__dict__.copy()
+        state["group"] = None
+        return state
+
     def _group_timeout(self) -> float:
         if self.fault_plan is not None:
             return self.fault_plan.recv_deadline
@@ -207,14 +256,25 @@ class RealTrainer:
         """
         if group is not None:
             return group.run(self._worker, *args)
+        if self.group is not None:
+            return self.group.run(self._worker, *args)
         if self.backend == "process":
-            return ProcessGroup(
+            return ProcessGroup._create(
                 self.world_size, timeout=timeout, transport=self.transport
             ).run(self._worker, *args)
         return run_threaded(self.world_size, self._worker, *args, timeout=timeout)
 
     def train(self) -> TrainResult:
-        return self._launch(timeout=self._group_timeout())[0]
+        result = self._launch(timeout=self._group_timeout())[0]
+        if (
+            self.group is not None
+            and self.group.last_trace is not None
+            and result.trace is None
+        ):
+            # Tracing configured on the CommGroup itself: the merged
+            # bundle lands on the group; surface it on the result too.
+            result.trace = self.group.last_trace
+        return result
 
     # ------------------------------------------------------------------ #
     def train_resilient(self) -> ResilientTrainResult:
@@ -251,7 +311,7 @@ class RealTrainer:
         # re-dispatches to warm workers instead of re-forking the group.
         group: ProcessGroup | None = None
         if self.backend == "process":
-            group = ProcessGroup(
+            group = ProcessGroup._create(
                 self.world_size,
                 timeout=plan.recv_deadline,
                 transport=self.transport,
@@ -266,7 +326,7 @@ class RealTrainer:
                     # A worker died mid-attempt (injected crash escaping
                     # the service loop, OOM kill...): replace the pool.
                     group.close()
-                    group = ProcessGroup(
+                    group = ProcessGroup._create(
                         self.world_size,
                         timeout=plan.recv_deadline,
                         transport=self.transport,
@@ -335,13 +395,34 @@ class RealTrainer:
         fault_comm: FaultyCommunicator | None = None
         if self.fault_plan is not None:
             comm = fault_comm = FaultyCommunicator(comm, self.fault_plan)
+        recorder: SpanRecorder | None = None
+        if self.trace is not None and not comm.obs.enabled:
+            # No recorder installed upstream (an open_group with trace=
+            # would have done it): this run owns its own tracing.
+            recorder = SpanRecorder.from_config(comm.rank, self.trace)
+            install_recorder(comm, recorder)
+            comm.barrier()
+            recorder.rebase()
+        t0 = time.perf_counter()
         try:
-            return self._train_loop(comm, start_step, checkpoint_path, fault_comm)
+            result = self._train_loop(comm, start_step, checkpoint_path, fault_comm)
         finally:
             if fault_comm is not None:
                 # Deliver in-flight delayed sends before a process-backend
                 # worker tears down its transport — peers may still read.
                 fault_comm.drain()
+        result.wall_time = time.perf_counter() - t0
+        if recorder is not None:
+            from repro.obs import scrape_counters
+
+            scrape_counters(comm, recorder)
+            # Ship the spans over the innermost transport so the fault
+            # injector cannot drop/delay the trace frames themselves.
+            base: Communicator = comm
+            while getattr(base, "_inner", None) is not None:
+                base = base._inner
+            result.trace = gather_spans(base, recorder, finalize=False)
+        return result
 
     def _train_loop(
         self,
@@ -406,6 +487,7 @@ class RealTrainer:
             else []
         )
 
+        obs = comm.obs  # NULL_RECORDER unless a SpanRecorder is installed
         for _step in range(start_step, self.steps):
             if fault_comm is not None:
                 fault_comm.check_crash(_step)
@@ -413,7 +495,11 @@ class RealTrainer:
             next_batch = stream.peek()
             straggle = fault_comm.straggler() if fault_comm is not None else nullcontext()
             with straggle:
-                loss = model.forward_backward(batch)
+                # The span sits *inside* the straggler so the injected
+                # stretch (recorded separately as overhead) never counts
+                # as useful compute.
+                with obs.span("fwd_bwd"):
+                    loss = model.forward_backward(batch)
             # Average the scalar loss across ranks for a global curve.
             losses.append(float(comm.allreduce_mean(np.array([loss]))[0]))
             tokens.append(model.last_token_count())
@@ -438,21 +524,24 @@ class RealTrainer:
                     grad = table.weight.grad
                     summed = allreduce_sparse_via_allgather(comm, grad)
                     table.weight.grad = summed.scale(1.0 / comm.world_size)
-                optimizer.step()
+                with obs.span("optimizer"):
+                    optimizer.step()
             elif self.strategy == "allreduce":
                 # Densified path: the full table travels, zeros included.
                 for name, table in tables.items():
                     dense = table.weight.grad.to_dense()
                     summed = comm.allreduce(dense) / comm.world_size
                     table.weight.grad = SparseRows.from_dense(summed)
-                optimizer.step()
+                with obs.span("optimizer"):
+                    optimizer.step()
             else:
                 self._embrace_sparse_step(comm, model, batch, next_batch, runtimes)
                 # Dense params still use the fused optimizer; detach
                 # sparse grads so step() skips them.
                 for table in tables.values():
                     table.weight.grad = None
-                optimizer.step()
+                with obs.span("optimizer"):
+                    optimizer.step()
                 if next_batch is not None:
                     for name in tables:
                         runtimes[name].refresh_rows(

@@ -17,7 +17,7 @@ from repro.experiments import (
     table2,
     table3,
 )
-from repro.experiments import extended, faults
+from repro.experiments import calibration, extended, faults
 from repro.experiments.base import ExperimentResult
 
 #: Experiment id -> runner, in paper order.
@@ -44,6 +44,7 @@ EXTENDED_EXPERIMENTS = {
     "extension_dgc": extended.run_dgc,
     "realbytes": extended.run_realbytes,
     "faults": faults.run_faults,
+    "calibration": calibration.run_calibration,
 }
 
 HEADER = """\

@@ -148,6 +148,7 @@ class FaultyCommunicator(Communicator):
 
         def _count_retry(attempt: int, exc: BaseException) -> None:
             self.stats.retransmits += 1
+            self.obs.count("faults.retransmits_live")
 
         try:
             retry_with_backoff(
@@ -216,7 +217,15 @@ class FaultyCommunicator(Communicator):
         if factor > 1.0:
             penalty = (factor - 1.0) * (time.perf_counter() - start)
             self.stats.straggle_s += penalty
+            obs = self.obs
+            if not obs.enabled:
+                self._sleep(penalty)
+                return
+            # The stretch occupies the compute lane without doing model
+            # work — kind "overhead" so computation_stall() counts it.
+            t0 = obs.t()
             self._sleep(penalty)
+            obs.rec("straggle", "compute", "overhead", t0)
 
 
 def run_threaded_with_faults(

@@ -1,0 +1,57 @@
+"""Unified tracing & metrics across the real backend and the simulator.
+
+The simulator's :class:`~repro.sim.trace.Trace` is this repository's
+lingua franca for timeline arguments — comm/compute overlap, the §5.4
+Computation Stall metric, scheduling order.  ``repro.obs`` extends that
+schema to *real* runs:
+
+* :class:`SpanRecorder` — a preallocated ring-buffer span recorder
+  living inside every traced worker (zero allocation on the hot path)
+  plus named counters (wire bytes by dtype, retransmits, segment-pool
+  hit rate);
+* instrumentation hooks throughout :mod:`repro.comm` and
+  :mod:`repro.faults` — every collective, transport phase, shm segment
+  wait, and fault retry lands in the ring when a recorder is installed,
+  and costs one predicate check when not;
+* :func:`gather_spans` / :class:`TraceBundle` — spans ship to rank 0
+  over the group's own framed transport and merge into a plain
+  simulator ``Trace`` with per-rank lanes (``compute:R`` / ``comm:R``),
+  so ``computation_stall()``, ``busy_time()`` and the Chrome/Perfetto
+  exporter serve real and simulated timelines through one code path.
+
+Enable tracing with ``repro.comm.open_group(..., trace=True)`` or
+``RunConfig(trace=True)``; inside a traced worker, ``comm.obs`` is the
+live recorder (``comm.obs.span("my_block")`` adds compute spans).
+"""
+
+from repro.obs.merge import (
+    TraceBundle,
+    entries_from_payload,
+    gather_spans,
+    install_recorder,
+    merge_payloads,
+    rank_resource,
+    scrape_counters,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    SpanRecorder,
+    TraceConfig,
+    as_trace_config,
+)
+
+__all__ = [
+    "SpanRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "TraceConfig",
+    "as_trace_config",
+    "TraceBundle",
+    "entries_from_payload",
+    "merge_payloads",
+    "gather_spans",
+    "install_recorder",
+    "scrape_counters",
+    "rank_resource",
+]

@@ -1,0 +1,34 @@
+"""Decorators for instrumenting free-standing collective algorithms.
+
+The :class:`~repro.comm.Communicator` methods trace themselves; the
+module-level algorithms (``tree_allreduce``, ``alltoall_column_shards``,
+...) take the communicator as their first argument, so one decorator
+covers them all: when a recorder is installed the whole call becomes a
+span on the ``"comm"`` lane, and when not the cost is a single attribute
+check.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable
+
+
+def traced_collective(name: str) -> Callable:
+    """Wrap ``fn(comm, ...)`` in a ``"comm"``-lane span named ``name``."""
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(comm, *args, **kwargs):
+            obs = comm.obs
+            if not obs.enabled:
+                return fn(comm, *args, **kwargs)
+            t0 = obs.coll_begin()
+            try:
+                return fn(comm, *args, **kwargs)
+            finally:
+                obs.coll_end(name, t0)
+
+        return wrapper
+
+    return decorate

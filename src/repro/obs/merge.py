@@ -1,0 +1,148 @@
+"""Span shipping and rank-0 merge: per-rank payloads -> one Trace.
+
+Each rank's :class:`~repro.obs.recorder.SpanRecorder` snapshots to a
+frame-friendly payload (numpy timestamp columns + interned name table);
+:func:`gather_spans` ships non-zero ranks' payloads to rank 0 **over the
+group's own communicator** — i.e. the same framed zero-copy transport
+the gradients used — and :func:`merge_payloads` rewrites each payload's
+lanes to the simulator's per-rank schema (``compute:R``, ``comm:R``),
+yielding a plain :class:`repro.sim.trace.Trace`.  From there every
+existing metric (``computation_stall``, ``busy_time``, ``overlap_ratio``)
+and the Chrome/Perfetto exporter apply unchanged: a real run and its
+simulated twin are the same kind of object.
+
+Clock alignment: recorders are rebased immediately after a group
+barrier, so per-rank origins agree to within the barrier release skew
+(microseconds for threads, sub-millisecond for processes) — far below
+the millisecond-scale spans being compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.trace import Trace, TraceEntry
+
+
+def rank_resource(resource: str, rank: int) -> str:
+    """The merged-lane name for ``resource`` on ``rank`` (multirank schema)."""
+    return f"{resource}:{rank}"
+
+
+def entries_from_payload(payload: dict) -> list[TraceEntry]:
+    """Decode one rank's payload into rank-lane trace entries."""
+    rank = int(payload["rank"])
+    names = payload["names"]
+    out = []
+    for s, e, k in zip(payload["start"], payload["end"], payload["key"]):
+        name, resource, kind = names[int(k)]
+        out.append(
+            TraceEntry(name, rank_resource(resource, rank), kind, float(s), float(e))
+        )
+    return out
+
+
+@dataclass
+class TraceBundle:
+    """A merged real-run timeline plus its per-rank counters.
+
+    ``trace`` is an ordinary simulator :class:`~repro.sim.trace.Trace`
+    whose lanes follow the ``compute:R`` / ``comm:R`` convention;
+    ``counters``/``dropped`` are keyed by rank.
+    """
+
+    trace: Trace
+    counters: dict[int, dict[str, float]] = field(default_factory=dict)
+    dropped: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def ranks(self) -> list[int]:
+        return sorted(self.counters)
+
+    def total_counters(self) -> dict[str, float]:
+        """Counters summed across ranks."""
+        out: dict[str, float] = {}
+        for per_rank in self.counters.values():
+            for name, value in per_rank.items():
+                out[name] = out.get(name, 0.0) + value
+        return out
+
+    def computation_stall(self, rank: int = 0) -> float:
+        """§5.4 stall for one rank — the simulator's exact code path."""
+        return self.trace.computation_stall(rank_resource("compute", rank))
+
+    def per_rank_stall(self) -> dict[int, float]:
+        return {r: self.computation_stall(r) for r in self.ranks}
+
+    def busy_time(self, resource: str, rank: int = 0) -> float:
+        return self.trace.busy_time(rank_resource(resource, rank))
+
+
+def merge_payloads(payloads: list[dict]) -> TraceBundle:
+    """Merge per-rank recorder payloads into one multi-lane trace."""
+    entries: list[TraceEntry] = []
+    counters: dict[int, dict[str, float]] = {}
+    dropped: dict[int, int] = {}
+    for payload in payloads:
+        rank = int(payload["rank"])
+        entries.extend(entries_from_payload(payload))
+        counters[rank] = dict(payload.get("counters", {}))
+        dropped[rank] = int(payload.get("dropped", 0))
+    return TraceBundle(Trace(entries), counters=counters, dropped=dropped)
+
+
+def install_recorder(comm, recorder) -> None:
+    """Attach ``recorder`` to ``comm`` and every wrapped inner layer.
+
+    Fault injection wraps communicators (``comm._inner``); instrumented
+    code on *any* layer — the wrapper's collectives, the inner
+    transport's segment waits — must reach the same ring buffer.
+    """
+    layer = comm
+    while layer is not None:
+        layer.obs = recorder
+        layer = getattr(layer, "_inner", None)
+
+
+def scrape_counters(comm, recorder) -> None:
+    """Fold end-of-run transport/fault statistics into the counters.
+
+    Walks the wrapper chain collecting each layer's
+    ``transport_counters()`` (segment-pool hit rate, attachment counts)
+    and any fault injector's :class:`~repro.faults.inject.InjectionStats`
+    as ``faults.*`` counters.  Zero hot-path cost: everything here is
+    already tracked by the transport for its own purposes.
+    """
+    layer = comm
+    while layer is not None:
+        getter = getattr(layer, "transport_counters", None)
+        if getter is not None:
+            for name, value in getter().items():
+                recorder.count(name, float(value))
+        stats = getattr(layer, "stats", None)
+        if stats is not None and hasattr(stats, "as_dict"):
+            for name, value in stats.as_dict().items():
+                recorder.count(f"faults.{name}", float(value))
+        layer = getattr(layer, "_inner", None)
+
+
+def gather_spans(comm, recorder, finalize: bool = True) -> TraceBundle | None:
+    """Ship every rank's spans to rank 0; merge there.
+
+    Non-zero ranks ``send`` their payload to rank 0 through ``comm``
+    itself — the existing frame transport moves the timestamp columns as
+    raw buffers — and return ``None``; rank 0 receives in rank order and
+    returns the merged :class:`TraceBundle`.  With ``finalize`` (the
+    default), transport/fault counters are scraped into the payload
+    first.
+    """
+    if finalize:
+        scrape_counters(comm, recorder)
+    payload = recorder.payload()
+    if comm.rank != 0:
+        comm.send(0, payload)
+        return None
+    payloads = [payload]
+    for src in range(1, comm.world_size):
+        payloads.append(comm.recv(src))
+    return merge_payloads(payloads)

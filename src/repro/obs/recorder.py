@@ -1,0 +1,271 @@
+"""Low-overhead structured span recording for real training runs.
+
+The simulator gets timelines for free — every executed task lands in a
+:class:`~repro.sim.trace.Trace`.  Real runs over the thread/process
+backends were a black box.  :class:`SpanRecorder` closes that gap with a
+fixed-capacity **ring buffer** of spans: preallocated numpy columns for
+start/end timestamps plus one interned ``(name, resource, kind)`` id per
+span, so the hot path costs two clock reads, three array stores, and one
+dict lookup — no per-span object allocation, no list growth, no string
+handling.  When the ring wraps, the *oldest* spans are overwritten and
+counted in :attr:`SpanRecorder.dropped`; recording never blocks and
+never grows.
+
+Every :class:`~repro.comm.Communicator` carries an ``obs`` attribute
+that defaults to the module-level :data:`NULL_RECORDER` — a no-op whose
+``enabled`` flag lets instrumented code skip all tracing work with a
+single attribute check.  :func:`repro.obs.install_recorder` swaps a live
+recorder in (through fault-injection wrappers too).
+
+Resource-lane convention (mirrors the simulator's schema):
+
+* ``"compute"`` / kind ``"compute"`` — useful model work (``fwd_bwd``,
+  ``optimizer``); this is what §5.4's Computation Stall subtracts;
+* ``"comm"`` / kind ``"comm"`` — whole collectives (``allreduce``,
+  ``alltoall``, ...), wait time included;
+* ``"comm.phase"`` / kind ``"comm"`` — transport phases inside them
+  (``send``, ``recv``, ``segment_wait``) for drill-down; nested under
+  the collective span, so the diagnostic lane may overlap itself.
+
+On merge (:mod:`repro.obs.merge`) lanes become ``compute:R`` /
+``comm:R`` per rank — the same naming :func:`repro.sim.multirank.
+expand_to_ranks` uses, so one metric/exporter code path serves both
+worlds.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+#: Default ring capacity: ~1.5 MB of span storage, a few thousand steps.
+DEFAULT_CAPACITY = 65536
+
+
+class NullRecorder:
+    """Disabled recorder: every operation is a no-op.
+
+    A single shared instance (:data:`NULL_RECORDER`) is the default
+    ``obs`` of every communicator, so untraced runs pay one ``if
+    obs.enabled`` per instrumented operation and nothing else.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def t(self) -> float:
+        return 0.0
+
+    def rec(self, name: str, resource: str, kind: str, t0: float) -> None:
+        pass
+
+    def rec_phase(self, name: str, t0: float) -> None:
+        pass
+
+    def coll_begin(self) -> float:
+        return 0.0
+
+    def coll_end(self, name: str, t0: float) -> None:
+        pass
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def count_bytes(self, obj) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, resource: str = "compute", kind: str = "compute"):
+        yield
+
+
+#: The shared disabled recorder (identity-comparable: ``obs is NULL_RECORDER``).
+NULL_RECORDER = NullRecorder()
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Tracing knobs, picklable so process-backend workers can be told.
+
+    ``capacity`` bounds the span ring per rank; ``phases`` toggles the
+    per-primitive ``comm.phase`` lane (collective- and compute-level
+    spans are always recorded when tracing is on).
+    """
+
+    capacity: int = DEFAULT_CAPACITY
+    phases: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("capacity", self.capacity)
+
+
+def as_trace_config(trace) -> TraceConfig | None:
+    """Normalize a user-facing ``trace=`` argument.
+
+    Accepts ``None``/``False`` (off), ``True`` (defaults), or an
+    explicit :class:`TraceConfig`.
+    """
+    if trace is None or trace is False:
+        return None
+    if trace is True:
+        return TraceConfig()
+    if isinstance(trace, TraceConfig):
+        return trace
+    raise TypeError(f"trace must be None, bool, or TraceConfig, got {trace!r}")
+
+
+class SpanRecorder:
+    """Per-rank ring-buffer span recorder plus named counters."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        rank: int = 0,
+        capacity: int = DEFAULT_CAPACITY,
+        clock=time.perf_counter,
+        phases: bool = True,
+    ):
+        check_positive("capacity", capacity)
+        self.rank = rank
+        self.capacity = capacity
+        self.phases = phases
+        self._clock = clock
+        self._start = np.empty(capacity, dtype=np.float64)
+        self._end = np.empty(capacity, dtype=np.float64)
+        self._key = np.empty(capacity, dtype=np.int32)
+        self._n = 0  # spans ever recorded; ring slot is _n % capacity
+        self._key_ids: dict[tuple[str, str, str], int] = {}
+        self._key_names: list[tuple[str, str, str]] = []
+        self.counters: dict[str, float] = {}
+        self._coll_depth = 0
+        self._t0 = clock()
+
+    @classmethod
+    def from_config(cls, rank: int, config: TraceConfig) -> "SpanRecorder":
+        return cls(rank=rank, capacity=config.capacity, phases=config.phases)
+
+    # -- hot path --------------------------------------------------------- #
+    def t(self) -> float:
+        """Current clock reading (pair with :meth:`rec`)."""
+        return self._clock()
+
+    def rec(self, name: str, resource: str, kind: str, t0: float) -> None:
+        """Record one completed span ``[t0, now]``."""
+        key = self._key_ids.get((name, resource, kind))
+        if key is None:
+            key = len(self._key_names)
+            self._key_ids[(name, resource, kind)] = key
+            self._key_names.append((name, resource, kind))
+        i = self._n % self.capacity
+        self._start[i] = t0
+        self._end[i] = self._clock()
+        self._key[i] = key
+        self._n += 1
+
+    def rec_phase(self, name: str, t0: float) -> None:
+        """Record a transport-phase span (skipped when phases are off)."""
+        if self.phases:
+            self.rec(name, "comm.phase", "comm", t0)
+
+    def coll_begin(self) -> float:
+        """Enter a (possibly nested) collective; returns its start time.
+
+        Composed collectives — ``hierarchical_allreduce`` delegating to
+        ``allreduce``, sparse exchanges built on ``alltoall`` — would
+        otherwise stack spans on the ``"comm"`` lane and double-count
+        its busy time; only the outermost call records.
+        """
+        self._coll_depth += 1
+        return self._clock()
+
+    def coll_end(self, name: str, t0: float) -> None:
+        """Leave a collective; records the span iff it was outermost."""
+        self._coll_depth -= 1
+        if self._coll_depth == 0:
+            self.rec(name, "comm", "comm", t0)
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def count_bytes(self, obj) -> None:
+        """Accumulate ``wire_bytes.<dtype>`` counters for a payload."""
+        if isinstance(obj, np.ndarray):
+            self.count(f"wire_bytes.{obj.dtype.name}", obj.nbytes)
+            return
+        from repro.tensors import SparseRows
+
+        if isinstance(obj, SparseRows):
+            self.count(f"wire_bytes.{obj.indices.dtype.name}", obj.indices.nbytes)
+            self.count(f"wire_bytes.{obj.values.dtype.name}", obj.values.nbytes)
+            return
+        if isinstance(obj, (tuple, list)):
+            for x in obj:
+                self.count_bytes(x)
+            return
+        from repro.comm.backend import payload_nbytes
+
+        self.count("wire_bytes.other", payload_nbytes(obj))
+
+    # -- cold paths ------------------------------------------------------- #
+    @contextmanager
+    def span(self, name: str, resource: str = "compute", kind: str = "compute"):
+        """Context-manager convenience for step-granularity spans."""
+        t0 = self._clock()
+        try:
+            yield
+        finally:
+            self.rec(name, resource, kind, t0)
+
+    def rebase(self) -> None:
+        """Zero the clock *now* and forget earlier spans.
+
+        Call right after a group barrier so every rank's timeline shares
+        (approximately) the same origin; the merge step then needs no
+        cross-rank clock solving.
+        """
+        self._t0 = self._clock()
+        self._n = 0
+        self._coll_depth = 0
+
+    @property
+    def dropped(self) -> int:
+        """Spans overwritten by ring wrap-around (oldest-first)."""
+        return max(0, self._n - self.capacity)
+
+    def __len__(self) -> int:
+        return min(self._n, self.capacity)
+
+    def payload(self) -> dict:
+        """Frame-transport-friendly snapshot of everything recorded.
+
+        Timestamps ship as contiguous float64 arrays **relative to the
+        rebased origin**, so the dict decomposes into raw frames on the
+        zero-copy wire (:mod:`repro.comm.frames`) with only the interned
+        name table and counters going through the pickle fallback.
+        """
+        n = len(self)
+        if self._n > self.capacity:  # ring wrapped: unroll oldest-first
+            pivot = self._n % self.capacity
+            order = np.concatenate(
+                [np.arange(pivot, self.capacity), np.arange(pivot)]
+            )
+            start, end, key = self._start[order], self._end[order], self._key[order]
+        else:
+            start = self._start[:n].copy()
+            end = self._end[:n].copy()
+            key = self._key[:n].copy()
+        return {
+            "rank": self.rank,
+            "start": np.ascontiguousarray(start - self._t0),
+            "end": np.ascontiguousarray(end - self._t0),
+            "key": np.ascontiguousarray(key),
+            "names": list(self._key_names),
+            "counters": dict(self.counters),
+            "dropped": self.dropped,
+        }

@@ -30,6 +30,10 @@ class Trace:
     def makespan(self) -> float:
         return max((e.end for e in self.entries), default=0.0)
 
+    def resources(self) -> list[str]:
+        """All resource lanes appearing in this trace, sorted."""
+        return sorted({e.resource for e in self.entries})
+
     def busy_time(self, resource: str) -> float:
         return sum(e.duration for e in self.entries if e.resource == resource)
 
@@ -47,7 +51,20 @@ class Trace:
         Implemented as makespan minus *useful* compute time: idle gaps on
         the compute stream plus any ``'overhead'``-kind work (the
         vertical scheduling calculation) both count as stall.
+
+        A ``compute_resource`` absent from a non-empty trace raises
+        :class:`ValueError` — silently returning the full makespan as
+        "stall" has historically hidden lane-name typos (e.g. asking for
+        ``"compute"`` on a merged per-rank trace whose lanes are
+        ``"compute:0"``...).
         """
+        if self.entries and not any(
+            e.resource == compute_resource for e in self.entries
+        ):
+            raise ValueError(
+                f"no entries on compute resource {compute_resource!r}; "
+                f"this trace has lanes {self.resources()}"
+            )
         useful = sum(
             e.duration
             for e in self.entries

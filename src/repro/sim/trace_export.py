@@ -1,8 +1,16 @@
-"""Chrome-trace export for simulated timelines.
+"""Chrome-trace export for simulated *and* real timelines.
 
 Dump any :class:`~repro.sim.Trace` to the Trace Event Format consumed by
 ``chrome://tracing`` / Perfetto, so the Fig. 6-style timelines can be
 inspected interactively.
+
+Rank-suffixed lanes (the ``compute:R`` / ``comm:R`` convention used by
+:func:`repro.sim.multirank.expand_to_ranks` and by merged real traces
+from :mod:`repro.obs`) are grouped into one Chrome *process* per rank,
+with the base resource as the thread lane — Perfetto then renders a
+per-rank track group exactly like a real multi-GPU capture.  Counters
+(wire bytes, segment-pool hit rates, retransmits) ride along in the
+``otherData`` metadata block.
 """
 
 from __future__ import annotations
@@ -21,39 +29,72 @@ _KIND_COLORS = {
 }
 
 
-def to_chrome_trace(trace: Trace, process_name: str = "worker0") -> dict:
-    """Build a Trace Event Format object (JSON-serializable dict)."""
-    events = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 0,
-            "args": {"name": process_name},
-        }
-    ]
-    lanes = {res: i for i, res in enumerate(sorted({e.resource for e in trace.entries}))}
-    for res, tid in lanes.items():
+def _split_rank(resource: str) -> tuple[int, str]:
+    """``"compute:3"`` -> ``(3, "compute")``; unsuffixed lanes -> rank 0."""
+    base, sep, suffix = resource.rpartition(":")
+    if sep and suffix.isdigit():
+        return int(suffix), base
+    return 0, resource
+
+
+def to_chrome_trace(
+    trace: Trace,
+    process_name: str = "worker0",
+    counters: dict | None = None,
+) -> dict:
+    """Build a Trace Event Format object (JSON-serializable dict).
+
+    ``counters``, when given, is attached verbatim under ``otherData``
+    (visible in the Perfetto info panel); use e.g. a
+    :class:`~repro.obs.TraceBundle`'s ``total_counters()``.
+    """
+    resources = trace.resources()
+    ranks = sorted({_split_rank(res)[0] for res in resources})
+    multi_rank = len(ranks) > 1
+    events = []
+    for rank in ranks:
+        name = f"{process_name} rank {rank}" if multi_rank else process_name
         events.append(
-            {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
-             "args": {"name": res}}
+            {"name": "process_name", "ph": "M", "pid": rank, "args": {"name": name}}
+        )
+    # One thread lane per base resource within each rank's process; lane
+    # order is stable across ranks so timelines line up visually.
+    bases = sorted({_split_rank(res)[1] for res in resources})
+    base_tid = {base: i for i, base in enumerate(bases)}
+    lanes: dict[str, tuple[int, int]] = {}
+    for res in resources:
+        rank, base = _split_rank(res)
+        lanes[res] = (rank, base_tid[base])
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": rank, "tid": base_tid[base],
+             "args": {"name": base}}
         )
     for e in trace.entries:
+        pid, tid = lanes[e.resource]
         events.append(
             {
                 "name": e.name,
                 "ph": "X",
-                "pid": 0,
-                "tid": lanes[e.resource],
+                "pid": pid,
+                "tid": tid,
                 "ts": e.start * _US,
                 "dur": e.duration * _US,
                 "cname": _KIND_COLORS.get(e.kind, "generic"),
                 "args": {"kind": e.kind},
             }
         )
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    out = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if counters:
+        out["otherData"] = {str(k): v for k, v in counters.items()}
+    return out
 
 
-def write_chrome_trace(trace: Trace, path: str, process_name: str = "worker0") -> None:
+def write_chrome_trace(
+    trace: Trace,
+    path: str,
+    process_name: str = "worker0",
+    counters: dict | None = None,
+) -> None:
     """Serialize :func:`to_chrome_trace` output to ``path``."""
     with open(path, "w") as fh:
-        json.dump(to_chrome_trace(trace, process_name), fh)
+        json.dump(to_chrome_trace(trace, process_name, counters=counters), fh)

@@ -213,7 +213,7 @@ class TestFaultyCommunicator:
         from repro.comm.local import ThreadGroup
 
         plan = FaultPlan(stragglers={0: 3.0})
-        comm = FaultyCommunicator(ThreadGroup(1).communicator(0), plan)
+        comm = FaultyCommunicator(ThreadGroup._create(1).communicator(0), plan)
         start = time.perf_counter()
         with comm.straggler():
             time.sleep(0.05)

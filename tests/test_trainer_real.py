@@ -204,10 +204,12 @@ class TestProcessBackend:
     """backend="process" trains bit-identically to the thread backend."""
 
     def test_backend_validation(self):
-        with pytest.raises(ValueError):
-            RealTrainer(LM.tiny(), backend="mpi")
-        with pytest.raises(ValueError):
-            RealTrainer(LM.tiny(), backend="process", transport="tcp")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                RealTrainer(LM.tiny(), backend="mpi")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                RealTrainer(LM.tiny(), backend="process", transport="tcp")
 
     @pytest.mark.slow
     @pytest.mark.parametrize("transport", ["shm", "queue"])

@@ -14,9 +14,9 @@ import numpy as np
 import pytest
 
 from repro.comm import (
-    ProcessGroup,
     allgather_sparse,
     alltoall_column_shards,
+    open_group,
     payload_nbytes,
     run_threaded,
 )
@@ -181,13 +181,13 @@ def assert_bit_identical(a, b) -> None:
 
 @pytest.fixture(scope="module")
 def shm_group():
-    with ProcessGroup(WORLD, timeout=60.0, transport="shm") as group:
+    with open_group(WORLD, backend="process", timeout=60.0, transport="shm") as group:
         yield group
 
 
 @pytest.fixture(scope="module")
 def queue_group():
-    with ProcessGroup(WORLD, timeout=60.0, transport="queue") as group:
+    with open_group(WORLD, backend="process", timeout=60.0, transport="queue") as group:
         yield group
 
 
