@@ -1,13 +1,17 @@
-"""CI gate: fresh transport benchmark vs the committed baseline.
+"""CI gate: fresh transport + scheduling benchmarks vs committed baselines.
 
-Runs :mod:`benchmarks.bench_comm_transport` (quick mode by default) and
-compares the ``guarded`` speedup ratios against the committed
-``BENCH_comm.json`` at the repository root.  Ratios — shm-over-queue,
-persistent-over-one-shot — are used instead of absolute MB/s because
-they cancel most host-speed variance; a ratio falling more than
-``--tolerance`` (default 30%) below baseline fails the build.
+Runs :mod:`benchmarks.bench_comm_transport` and compares the ``guarded``
+speedup ratios against the committed ``BENCH_comm.json`` at the
+repository root; then does the same for
+:mod:`benchmarks.bench_sched`'s stall-fraction ratio against
+``BENCH_sched.json`` (skipped with a note if no baseline is committed).
+Ratios — shm-over-queue, persistent-over-one-shot, sync-over-overlap
+stall — are used instead of absolute numbers because they cancel most
+host-speed variance; a ratio falling more than ``--tolerance`` (default
+30%) below baseline fails the build, as does any loss-curve divergence
+between the scheduler's overlapped and synchronous modes.
 
-Run:  python benchmarks/check_comm_regression.py [--quick] [--baseline BENCH_comm.json]
+Run:  python benchmarks/check_comm_regression.py [--baseline BENCH_comm.json]
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ import sys
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 DEFAULT_BASELINE = os.path.join(HERE, os.pardir, "BENCH_comm.json")
+DEFAULT_SCHED_BASELINE = os.path.join(HERE, os.pardir, "BENCH_sched.json")
 
 
 def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
@@ -42,9 +47,43 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def check_sched(baseline_path: str, tolerance: float) -> list[str]:
+    """Gate the scheduler baseline: stall ratio floor + bit-identity."""
+    if not os.path.exists(baseline_path):
+        print(f"(no scheduler baseline at {baseline_path}; skipping)")
+        return []
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    meta = baseline["meta"]
+
+    from bench_sched import measure, render
+
+    fresh = measure(
+        world=meta["world"],
+        steps=meta["steps"],
+        trials=meta["trials"],
+        vocab=meta["config"]["vocab"],
+        dim_divisor=meta["config"]["dim_divisor"],
+    )
+    print(render(fresh))
+    print()
+    failures = compare(baseline, fresh, tolerance)
+    if not fresh["losses_identical"]:
+        failures.append(
+            "losses_identical: overlapped training diverged from the "
+            "synchronous loss curve (must be bit-identical)"
+        )
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--sched-baseline", default=DEFAULT_SCHED_BASELINE)
+    parser.add_argument(
+        "--skip-sched", action="store_true",
+        help="gate only the transport baseline",
+    )
     parser.add_argument(
         "--tolerance", type=float, default=0.30,
         help="allowed fractional drop below the baseline ratio",
@@ -75,6 +114,9 @@ def main() -> int:
     print(render(fresh))
     print()
     failures = compare(baseline, fresh, args.tolerance)
+    if not args.skip_sched:
+        print()
+        failures += check_sched(args.sched_baseline, args.tolerance)
     if failures:
         print("\nFAIL:", *failures, sep="\n  ")
         return 1

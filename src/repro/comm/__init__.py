@@ -28,6 +28,14 @@ from repro.comm.frames import decode_frames, encode_frames
 from repro.comm.group import BACKENDS, CommGroup, open_group
 from repro.comm.local import ThreadGroup, run_threaded
 from repro.comm.process import TRANSPORTS, ProcessGroup, run_multiprocess
+from repro.comm.sched import (
+    PRIORITY_URGENT,
+    CommHandle,
+    CommScheduler,
+    SchedComm,
+    SchedulerClosed,
+    dense_chunk_bounds,
+)
 from repro.comm.sparse import (
     allgather_sparse,
     allreduce_sparse_via_allgather,
@@ -50,6 +58,12 @@ __all__ = [
     "ProcessGroup",
     "run_multiprocess",
     "TRANSPORTS",
+    "CommScheduler",
+    "CommHandle",
+    "SchedComm",
+    "SchedulerClosed",
+    "PRIORITY_URGENT",
+    "dense_chunk_bounds",
     "allgather_sparse",
     "allreduce_sparse_via_allgather",
     "alltoall_column_shards",

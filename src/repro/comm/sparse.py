@@ -68,13 +68,31 @@ def alltoall_column_shards(
     The local gradient is coalesced before slicing so that every
     strategy sums per-row contributions with identical grouping
     (local pre-sum, then rank order).
+
+    When every shard has the same width, packing is one pass: a single
+    ``(nnz, world, width) -> (world, nnz, width)`` axis-swap copy lays
+    out every destination's C-contiguous block back to back — one
+    allocation instead of a strided copy per destination, and receivers
+    get contiguous values with no fix-up.  Uneven shard widths (``dim``
+    not divisible by ``world``) fall back to per-slice copies.
     """
     grad = grad.coalesce()
     slices = column_slices(grad.dim, comm.world_size)
-    outgoing = [
-        (grad.indices, np.ascontiguousarray(grad.values[:, s]), grad.num_rows)
-        for s in slices
-    ]
+    widths = {s.stop - s.start for s in slices}
+    if len(widths) == 1 and grad.dim == len(slices) * next(iter(widths)):
+        width = next(iter(widths))
+        blocks = np.ascontiguousarray(
+            grad.values.reshape(-1, len(slices), width).swapaxes(0, 1)
+        )
+        outgoing = [
+            (grad.indices, blocks[dst], grad.num_rows)
+            for dst in range(len(slices))
+        ]
+    else:
+        outgoing = [
+            (grad.indices, np.ascontiguousarray(grad.values[:, s]), grad.num_rows)
+            for s in slices
+        ]
     received = comm.alltoall(outgoing)
     parts = [
         SparseRows(idx, vals, rows, coalesced=False) for idx, vals, rows in received

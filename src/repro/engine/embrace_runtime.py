@@ -59,6 +59,54 @@ class EmbraceTableRuntime:
         self.optimizer = EmbraceAdam([self.shard], lr=lr, betas=betas)
 
     # ------------------------------------------------------------------ #
+    # The three phases of one iteration's sparse update, separable so an
+    # async engine (:class:`~repro.comm.CommScheduler`) can run the two
+    # exchanges as prioritized work items — prior at ``PRIORITY_PRIOR``,
+    # delayed trailing into the next step — while ``apply_gradient``
+    # below remains the fused synchronous composition.
+
+    def split(
+        self,
+        grad: SparseRows,
+        current_ids: np.ndarray,
+        next_ids: np.ndarray | None,
+    ) -> tuple[SparseRows, SparseRows]:
+        """Algorithm 1's prior/delayed partition of ``grad``.
+
+        ``next_ids`` is the *gathered* next-iteration token set; pass
+        ``None`` at end of stream (everything becomes prior).
+        """
+        if next_ids is None:
+            return grad.coalesce(), SparseRows.empty(
+                grad.num_rows, grad.dim, grad.values.dtype
+            )
+        return vertical_split(grad, current_ids, next_ids)
+
+    def exchange(
+        self, comm: Communicator, part: SparseRows, scale: float = 1.0
+    ) -> SparseRows:
+        """AlltoAll one split part into this rank's scaled column shard.
+
+        Takes the communicator explicitly so the same code runs inline
+        (``self.comm``) or inside a scheduled work item on its channel
+        communicator; the arithmetic — exchange then scale — is
+        identical either way.
+        """
+        return alltoall_column_shards(comm, part).scale(scale)
+
+    def apply_part(self, shard_grad: SparseRows, final: bool) -> None:
+        """Modified-Adam shard update for one exchanged part.
+
+        ``final=False`` for the prior part (Adam ``step`` not yet
+        committed), ``final=True`` for the delayed part — which an
+        overlapped trainer applies at the *next* step boundary, a
+        reordering that is bit-safe because delayed rows are by
+        construction disjoint from the gathered next-batch ids (no
+        refresh or forward reads them in between) and the per-row
+        optimizer-op sequence is unchanged.
+        """
+        self.optimizer.apply_sparse_part(self.shard, shard_grad, final=final)
+
     def apply_gradient(
         self,
         grad: SparseRows,
@@ -73,26 +121,26 @@ class EmbraceTableRuntime:
         divides the cross-rank sum (gradient averaging).  Returns the
         (prior, delayed) row counts actually exchanged.
         """
-        if next_ids is None:
-            prior = grad.coalesce()
-            delayed = SparseRows.empty(grad.num_rows, grad.dim, grad.values.dtype)
-        else:
-            prior, delayed = vertical_split(grad, current_ids, next_ids)
-        prior_shard = alltoall_column_shards(self.comm, prior).scale(scale)
-        self.optimizer.apply_sparse_part(self.shard, prior_shard, final=False)
-        delayed_shard = alltoall_column_shards(self.comm, delayed).scale(scale)
-        self.optimizer.apply_sparse_part(self.shard, delayed_shard, final=True)
+        prior, delayed = self.split(grad, current_ids, next_ids)
+        self.apply_part(self.exchange(self.comm, prior, scale), final=False)
+        self.apply_part(self.exchange(self.comm, delayed, scale), final=True)
         return prior.nnz_rows, delayed.nnz_rows
 
-    def refresh_rows(self, local_ids: np.ndarray) -> None:
+    def refresh_rows(
+        self, local_ids: np.ndarray, all_ids: list[np.ndarray] | None = None
+    ) -> None:
         """Rewrite the replica's ``local_ids`` rows with fresh values.
 
         Performs the forward AlltoAll of §4.1.1: every rank looks up all
         ranks' ids against its own columns; each rank reassembles its
-        ids' full-dimension vectors.
+        ids' full-dimension vectors.  ``all_ids`` (optional) is the
+        already-gathered per-rank id list — the training loop gathers
+        next-batch ids once for Algorithm 1's split and passes them here,
+        skipping a second identical AllGather.
         """
         local_ids = np.asarray(local_ids, dtype=np.int64)
-        all_ids = self.comm.allgather(local_ids)
+        if all_ids is None:
+            all_ids = self.comm.allgather(local_ids)
         shard_lookup = np.concatenate(
             [
                 np.ascontiguousarray(self.table.weight.data[ids][:, self.my_columns])

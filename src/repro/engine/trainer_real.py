@@ -45,11 +45,16 @@ import numpy as np
 from repro.comm import (
     TRANSPORTS,
     CommGroup,
+    CommHandle,
+    CommScheduler,
     Communicator,
     ProcessGroup,
+    SchedComm,
     allreduce_sparse_via_allgather,
+    alltoall_column_shards,
     run_threaded,
 )
+from repro.comm.sched import DEFAULT_CHUNK_ELEMS
 from repro.obs import (
     SpanRecorder,
     TraceBundle,
@@ -68,8 +73,10 @@ from repro.faults import CommFailure, FaultPlan, FaultyCommunicator, RankCrashed
 from repro.optim import EmbraceAdam
 from repro.data import Prefetcher
 from repro.engine.workload import batch_stream
+from repro.models.blocks import block_specs
 from repro.models.config import ModelConfig
 from repro.models.registry import build_model
+from repro.schedule import PRIORITY_DELAYED, PRIORITY_PRIOR, horizontal_priorities
 from repro.tensors import SparseRows
 from repro.utils.validation import check_in, check_positive
 
@@ -148,6 +155,7 @@ class RealTrainer:
         transport: str | None = None,
         trace=None,
         group: CommGroup | None = None,
+        overlap: bool = True,
     ):
         """``dgc_ratio`` (optional) enables Deep-Gradient-Compression on
         the *dense* gradients: each rank top-k sparsifies with error
@@ -179,6 +187,16 @@ class RealTrainer:
         transport phases — merged on rank 0 into
         :attr:`TrainResult.trace`, the same :class:`~repro.sim.trace.
         Trace` schema the simulator emits.
+
+        ``overlap`` (default True) runs every collective through the
+        per-rank :class:`~repro.comm.CommScheduler` comm thread: dense
+        AllReduces are chunked and enqueued in backward-completion order
+        with :func:`~repro.schedule.horizontal_priorities`, prior sparse
+        exchanges preempt them at ``PRIORITY_PRIOR``, and delayed parts
+        trail into the next step.  ``overlap=False`` executes the same
+        work items inline — same chunking, same reduction order — so
+        both modes train **bit-identically**; overlap only lowers the
+        measured computation-stall fraction (``result.trace``).
         """
         check_in("strategy", strategy, {"allgather", "allreduce", "embrace"})
         if backend is not None or transport is not None:
@@ -229,6 +247,7 @@ class RealTrainer:
         self.transport = transport
         self.trace = as_trace_config(trace)
         self.group = group
+        self.overlap = overlap
 
     # ------------------------------------------------------------------ #
     def __getstate__(self) -> dict:
@@ -447,12 +466,19 @@ class RealTrainer:
                 )
             extras = load_extras(checkpoint_path)
 
+        # The async comm engine: all in-loop collectives run as work
+        # items on its comm thread (or inline when overlap=False, with
+        # identical arithmetic).  ``coll`` is the synchronous facade for
+        # code that wants a plain Communicator.
+        sched = CommScheduler(comm, overlap=self.overlap)
+        coll = SchedComm(sched)
+
         # Per-table EmbRace runtimes (column shards + modified Adam) —
         # created after any restore so the shards view the loaded tables.
         runtimes: dict[str, EmbraceTableRuntime] = {}
         if self.strategy == "embrace":
             runtimes = {
-                name: EmbraceTableRuntime(comm, table, lr=self.lr)
+                name: EmbraceTableRuntime(coll, table, lr=self.lr)
                 for name, table in tables.items()
             }
             self._restore_shard_state(runtimes, extras)
@@ -487,83 +513,153 @@ class RealTrainer:
             else []
         )
 
+        # Dense blocks in FP-dependency order -> horizontal priorities
+        # (§4.2.1): gradients enqueue in backward-completion (reverse)
+        # order, but the engine serves the block the next forward needs
+        # first.
+        dense_order = self._dense_schedule(model, dense_params)
+        dense_buckets = self._dense_buckets(dense_order)
+
         obs = comm.obs  # NULL_RECORDER unless a SpanRecorder is installed
-        for _step in range(start_step, self.steps):
-            if fault_comm is not None:
-                fault_comm.check_crash(_step)
-            batch = next(stream)
-            next_batch = stream.peek()
-            straggle = fault_comm.straggler() if fault_comm is not None else nullcontext()
-            with straggle:
-                # The span sits *inside* the straggler so the injected
-                # stretch (recorded separately as overhead) never counts
-                # as useful compute.
-                with obs.span("fwd_bwd"):
-                    loss = model.forward_backward(batch)
-            # Average the scalar loss across ranks for a global curve.
-            losses.append(float(comm.allreduce_mean(np.array([loss]))[0]))
-            tokens.append(model.last_token_count())
+        # Delayed sparse parts carried across the step boundary:
+        # (table name, handle) pairs applied by _flush_delayed.
+        pending_delayed: list[tuple[str, CommHandle]] = []
+        try:
+            for _step in range(start_step, self.steps):
+                if fault_comm is not None:
+                    fault_comm.check_crash(_step)
+                batch = next(stream)
+                next_batch = stream.peek()
+                straggle = (
+                    fault_comm.straggler() if fault_comm is not None else nullcontext()
+                )
+                with straggle:
+                    # The span sits *inside* the straggler so the injected
+                    # stretch (recorded separately as overhead) never counts
+                    # as useful compute.
+                    with obs.span("fwd_bwd"):
+                        loss = model.forward_backward(batch)
+                # Step boundary for the sparse state: the previous step's
+                # delayed parts (whose exchange overlapped this forward)
+                # commit before any of this step's shard updates.
+                self._flush_delayed(runtimes, pending_delayed)
+                # Average the scalar loss across ranks for a global curve.
+                # Deferred: the tiny allreduce queues behind this step's
+                # gradient traffic and is only waited at end of step, so
+                # it overlaps instead of stalling compute here.
+                loss_h = sched.submit(
+                    lambda c, x=np.array([loss]): c.allreduce_mean(x),
+                    priority=0.0,
+                    label="loss",
+                )
+                tokens.append(model.last_token_count())
 
-            # ---- dense gradients: ring AllReduce (both strategies) ---- #
-            if compressors is None:
-                for p in dense_params:
-                    p.grad = comm.allreduce_mean(p.grad)
-            else:
-                for p in dense_params:
-                    c = compressors[id(p)]
-                    idx, vals = c.compress(p.grad)
-                    gathered = comm.allgather((idx, vals))
-                    total = np.zeros(p.data.size)
-                    for g_idx, g_vals in gathered:
-                        np.add.at(total, g_idx, g_vals)
-                    p.grad = total.reshape(p.data.shape) / comm.world_size
+                # ---- dense gradients: chunked ring AllReduce -------------- #
+                dense_handles: list[CommHandle] = []
+                dense_flats: list[tuple] = []
+                if compressors is None:
+                    # Fused buckets in backward completion order; chunks
+                    # let higher-priority sparse items preempt mid-bucket.
+                    for i, (prio, members, size, dtype) in enumerate(
+                        dense_buckets
+                    ):
+                        buf = np.empty(size, dtype=dtype)
+                        for p, start, stop in members:
+                            buf[start:stop] = p.grad.reshape(-1)
+                        dense_handles += sched.allreduce_chunks(
+                            buf, priority=prio, label=f"dense:b{i}"
+                        )
+                        dense_flats.append((members, buf))
+                else:
+                    for p in dense_params:
+                        c = compressors[id(p)]
+                        idx, vals = c.compress(p.grad)
+                        gathered = coll.allgather((idx, vals))
+                        all_idx = np.concatenate([g for g, _ in gathered])
+                        all_vals = np.concatenate([v for _, v in gathered])
+                        # One bincount replaces a fresh dense zeros +
+                        # np.add.at per rank; concatenating in rank order
+                        # keeps the accumulation order (and hence bits)
+                        # identical, and the final cast keeps float32
+                        # gradients float32.
+                        total = np.bincount(
+                            all_idx, weights=all_vals, minlength=p.data.size
+                        )
+                        p.grad = (
+                            total.reshape(p.data.shape) / comm.world_size
+                        ).astype(p.grad.dtype, copy=False)
 
-            # ---- sparse gradients ------------------------------------- #
-            if self.strategy == "allgather":
-                for name, table in tables.items():
-                    grad = table.weight.grad
-                    summed = allreduce_sparse_via_allgather(comm, grad)
-                    table.weight.grad = summed.scale(1.0 / comm.world_size)
+                # ---- sparse gradients ------------------------------------- #
+                if self.strategy == "allgather":
+                    for name, table in tables.items():
+                        grad = table.weight.grad
+                        summed = allreduce_sparse_via_allgather(coll, grad)
+                        table.weight.grad = summed.scale(1.0 / comm.world_size)
+                elif self.strategy == "allreduce":
+                    # Densified path: the full table travels, zeros included.
+                    for name, table in tables.items():
+                        dense = table.weight.grad.to_dense()
+                        summed = coll.allreduce(dense) / comm.world_size
+                        table.weight.grad = SparseRows.from_dense(summed)
+                else:
+                    gathered_next = self._embrace_sparse_step(
+                        sched, coll, model, batch, next_batch, runtimes,
+                        pending_delayed,
+                    )
+                    # Dense params still use the fused optimizer; detach
+                    # sparse grads so step() skips them.
+                    for table in tables.values():
+                        table.weight.grad = None
+
+                # Drain the dense queue: chunk sums land in place, then
+                # average exactly where allreduce_mean used to.
+                for h in dense_handles:
+                    h.wait()
+                for members, buf in dense_flats:
+                    for p, start, stop in members:
+                        p.grad = (
+                            buf[start:stop] / comm.world_size
+                        ).reshape(p.data.shape)
                 with obs.span("optimizer"):
                     optimizer.step()
-            elif self.strategy == "allreduce":
-                # Densified path: the full table travels, zeros included.
-                for name, table in tables.items():
-                    dense = table.weight.grad.to_dense()
-                    summed = comm.allreduce(dense) / comm.world_size
-                    table.weight.grad = SparseRows.from_dense(summed)
-                with obs.span("optimizer"):
-                    optimizer.step()
-            else:
-                self._embrace_sparse_step(comm, model, batch, next_batch, runtimes)
-                # Dense params still use the fused optimizer; detach
-                # sparse grads so step() skips them.
-                for table in tables.values():
-                    table.weight.grad = None
-                with obs.span("optimizer"):
-                    optimizer.step()
-                if next_batch is not None:
+                if self.strategy == "embrace" and next_batch is not None:
+                    # Hoisted refresh: gated only by the prior parts (already
+                    # applied) — the delayed exchange keeps trailing.  Reuses
+                    # the id lists gathered for Algorithm 1's split instead
+                    # of a second identical AllGather per table.
                     for name in tables:
                         runtimes[name].refresh_rows(
-                            self._table_ids(model, name, next_batch)
+                            gathered_next[name][comm.rank],
+                            all_ids=gathered_next[name],
                         )
+                losses.append(float(loss_h.wait()[0]))
 
-            model.zero_grad()
-            if self.record_predictions:
-                predictions.append(self._teacher_forced_predictions(model, batch))
-            if self.eval_every and (_step + 1) % self.eval_every == 0:
-                val_losses.append(self._validate(model, val_batches, runtimes))
-            if (
-                checkpoint_path
-                and self.checkpoint_every
-                and (_step + 1) % self.checkpoint_every == 0
-            ):
-                self._checkpoint(
-                    comm, model, optimizer, runtimes, checkpoint_path,
-                    _step + 1, losses, tokens, val_losses,
-                )
+                model.zero_grad()
+                if self.record_predictions:
+                    predictions.append(self._teacher_forced_predictions(model, batch))
+                if self.eval_every and (_step + 1) % self.eval_every == 0:
+                    # Validation refreshes arbitrary rows: commit carried
+                    # delayed parts first.
+                    self._flush_delayed(runtimes, pending_delayed)
+                    val_losses.append(self._validate(model, val_batches, runtimes))
+                if (
+                    checkpoint_path
+                    and self.checkpoint_every
+                    and (_step + 1) % self.checkpoint_every == 0
+                ):
+                    # Checkpoints gather whole shards: same commit rule.
+                    self._flush_delayed(runtimes, pending_delayed)
+                    self._checkpoint(
+                        coll, model, optimizer, runtimes, checkpoint_path,
+                        _step + 1, losses, tokens, val_losses,
+                    )
 
-        state = self._final_state(model, runtimes)
+            self._flush_delayed(runtimes, pending_delayed)
+            state = self._final_state(model, runtimes)
+        finally:
+            # Joins the comm thread before the transport is handed back
+            # (persistent pools reuse links across dispatches).
+            sched.close()
         return TrainResult(
             strategy=self.strategy,
             world_size=comm.world_size,
@@ -635,26 +731,146 @@ class RealTrainer:
         return float(np.mean(losses))
 
     # ------------------------------------------------------------------ #
-    def _embrace_sparse_step(self, comm, model, batch, next_batch, runtimes) -> None:
+    def _dense_schedule(self, model, dense_params) -> list[tuple[float, object]]:
+        """``(priority, param)`` in FP order, from §4.2.1's block priorities.
+
+        Priorities come from :func:`~repro.schedule.horizontal_priorities`
+        over the model's dense blocks; parameters outside any block (none
+        today — asserted in tests) trail at the lowest priority.
+        """
+        spec_prios = horizontal_priorities(block_specs(self.config))
+        blocks = model.dense_blocks()
+        dense_ids = {id(p) for p in dense_params}
+        order: list[tuple[float, object]] = []
+        seen: set[int] = set()
+        for i, (block_name, params) in enumerate(blocks):
+            prio = spec_prios.get(block_name, float(i))
+            for p in params:
+                if id(p) in dense_ids and id(p) not in seen:
+                    order.append((prio, p))
+                    seen.add(id(p))
+        for p in dense_params:
+            if id(p) not in seen:
+                order.append((float(len(blocks)), p))
+        return order
+
+    @staticmethod
+    def _dense_buckets(dense_order) -> list[tuple[float, list, int, object]]:
+        """Fuse dense gradients into few large AllReduce buffers.
+
+        The per-step profile is dominated by per-collective fixed cost
+        (latency plus rank-arrival skew), not bandwidth: a model's many
+        small dense tensors each paying it separately swamps the sparse
+        exchanges the 2D schedule is trying to prioritize.  Greedily
+        packing consecutive tensors — in backward-completion order, one
+        bucket per dtype run, up to :data:`~repro.comm.sched.
+        DEFAULT_CHUNK_ELEMS` elements — collapses them into a handful of
+        fused reductions, each still submitted through
+        :meth:`~repro.comm.CommScheduler.allreduce_chunks` so sparse
+        items preempt between chunks.  A bucket takes the most urgent
+        (minimum) priority of its members.  Bounds depend only on the
+        parameter list, so every rank and both overlap modes pack — and
+        therefore reduce — identically.
+
+        Returns ``(priority, [(param, start, stop)], total_elems, dtype)``
+        per bucket.
+        """
+        buckets: list[tuple[float, list, int, object]] = []
+        members: list = []
+        prio = 0.0
+        total = 0
+        dtype: object = None
+
+        def close() -> None:
+            nonlocal members, total, dtype
+            if members:
+                buckets.append((prio, members, total, dtype))
+            members, total, dtype = [], 0, None
+
+        for p_prio, p in reversed(dense_order):
+            size = p.data.size
+            if members and (
+                p.data.dtype != dtype or total + size > DEFAULT_CHUNK_ELEMS
+            ):
+                close()
+            if not members:
+                prio, dtype = p_prio, p.data.dtype
+            else:
+                prio = min(prio, p_prio)
+            members.append((p, total, total + size))
+            total += size
+        close()
+        return buckets
+
+    @staticmethod
+    def _flush_delayed(runtimes, pending: list[tuple[str, CommHandle]]) -> None:
+        """Commit carried delayed parts (Algorithm 1's trailing half).
+
+        ``final=True`` advances EmbraceAdam's ``step`` exactly as the
+        fused update would: the per-row op sequence is prior(t) →
+        delayed(t) → prior(t+1) regardless of when the delayed exchange
+        physically ran.
+        """
+        for name, handle in pending:
+            runtimes[name].apply_part(handle.wait(), final=True)
+        pending.clear()
+
+    def _embrace_sparse_step(
+        self, sched, coll, model, batch, next_batch, runtimes, pending_delayed
+    ) -> dict[str, list[np.ndarray]] | None:
         """Algorithm 1 + AlltoAll + EmbraceAdam on each table's shard.
+
+        The prior part runs at ``PRIORITY_PRIOR`` — preempting queued
+        dense chunks — and gates this step's refresh; the delayed part
+        enqueues at ``PRIORITY_DELAYED`` and is only waited on at the
+        *next* step boundary (:meth:`_flush_delayed`), so its exchange
+        overlaps the next forward/backward.
+
+        All tables' next-iteration ids travel in **one** AllGather (per-
+        collective fixed cost dominates these tiny payloads), and the
+        gathered lists are returned so the hoisted refresh reuses them
+        instead of gathering the same ids a second time.
 
         Averaging (``scale``) happens *after* the cross-rank sum, at the
         same point as the baseline path, so float rounding matches
         bit-for-bit at any world size.
         """
-        inv_world = 1.0 / comm.world_size
-        for name, table in model.embedding_tables().items():
+        inv_world = 1.0 / coll.world_size
+        tables = model.embedding_tables()
+        gathered_next: dict[str, list[np.ndarray]] | None = None
+        if next_batch is not None:
+            # D_next is the *gathered* next-iteration data (Alg. 1) —
+            # one fused collective for every table's id set.
+            local_next = {
+                name: self._table_ids(model, name, next_batch) for name in tables
+            }
+            per_rank = coll.allgather(local_next)
+            gathered_next = {
+                name: [rank_ids[name] for rank_ids in per_rank] for name in tables
+            }
+        for name, table in tables.items():
             grad = table.weight.grad
             current_ids = self._table_ids(model, name, batch)
-            if next_batch is None:
-                global_next = None
-            else:
-                # D_next is the *gathered* next-iteration data (Alg. 1).
-                local_next = self._table_ids(model, name, next_batch)
-                global_next = np.concatenate(comm.allgather(local_next))
-            runtimes[name].apply_gradient(
-                grad, current_ids, global_next, scale=inv_world
+            global_next = (
+                np.concatenate(gathered_next[name])
+                if gathered_next is not None
+                else None
             )
+            rt = runtimes[name]
+            prior, delayed = rt.split(grad, current_ids, global_next)
+            prior_h = sched.submit(
+                lambda c, g=prior, rt=rt: rt.exchange(c, g, inv_world),
+                priority=PRIORITY_PRIOR,
+                label=f"prior:{name}",
+            )
+            delayed_h = sched.submit(
+                lambda c, g=delayed, rt=rt: rt.exchange(c, g, inv_world),
+                priority=PRIORITY_DELAYED,
+                label=f"delayed:{name}",
+            )
+            rt.apply_part(prior_h.wait(), final=False)
+            pending_delayed.append((name, delayed_h))
+        return gathered_next
 
     # ------------------------------------------------------------------ #
     def _table_ids(self, model, table_name: str, batch) -> np.ndarray:

@@ -35,6 +35,7 @@ worlds.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -143,7 +144,13 @@ class SpanRecorder:
         self._key_ids: dict[tuple[str, str, str], int] = {}
         self._key_names: list[tuple[str, str, str]] = []
         self.counters: dict[str, float] = {}
-        self._coll_depth = 0
+        # The comm scheduler records collective spans from its comm
+        # thread while the training thread records compute spans: ring
+        # writes take a lock (spans are per-collective, not per-byte, so
+        # contention is negligible) and the collective nesting depth is
+        # tracked per thread.
+        self._lock = threading.Lock()
+        self._coll_depth = threading.local()
         self._t0 = clock()
 
     @classmethod
@@ -157,16 +164,18 @@ class SpanRecorder:
 
     def rec(self, name: str, resource: str, kind: str, t0: float) -> None:
         """Record one completed span ``[t0, now]``."""
-        key = self._key_ids.get((name, resource, kind))
-        if key is None:
-            key = len(self._key_names)
-            self._key_ids[(name, resource, kind)] = key
-            self._key_names.append((name, resource, kind))
-        i = self._n % self.capacity
-        self._start[i] = t0
-        self._end[i] = self._clock()
-        self._key[i] = key
-        self._n += 1
+        end = self._clock()  # before the lock: lock waits are not span time
+        with self._lock:
+            key = self._key_ids.get((name, resource, kind))
+            if key is None:
+                key = len(self._key_names)
+                self._key_ids[(name, resource, kind)] = key
+                self._key_names.append((name, resource, kind))
+            i = self._n % self.capacity
+            self._start[i] = t0
+            self._end[i] = end
+            self._key[i] = key
+            self._n += 1
 
     def rec_phase(self, name: str, t0: float) -> None:
         """Record a transport-phase span (skipped when phases are off)."""
@@ -181,17 +190,20 @@ class SpanRecorder:
         otherwise stack spans on the ``"comm"`` lane and double-count
         its busy time; only the outermost call records.
         """
-        self._coll_depth += 1
+        depth = self._coll_depth
+        depth.value = getattr(depth, "value", 0) + 1
         return self._clock()
 
     def coll_end(self, name: str, t0: float) -> None:
         """Leave a collective; records the span iff it was outermost."""
-        self._coll_depth -= 1
-        if self._coll_depth == 0:
+        depth = self._coll_depth
+        depth.value = getattr(depth, "value", 1) - 1
+        if depth.value == 0:
             self.rec(name, "comm", "comm", t0)
 
     def count(self, name: str, value: float = 1.0) -> None:
-        self.counters[name] = self.counters.get(name, 0.0) + value
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
 
     def count_bytes(self, obj) -> None:
         """Accumulate ``wire_bytes.<dtype>`` counters for a payload."""
@@ -231,7 +243,7 @@ class SpanRecorder:
         """
         self._t0 = self._clock()
         self._n = 0
-        self._coll_depth = 0
+        self._coll_depth = threading.local()
 
     @property
     def dropped(self) -> int:

@@ -13,7 +13,7 @@ EmbRace's Vertical Sparse Scheduling (Algorithm 1) manipulates:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -31,6 +31,8 @@ class SparseRows:
     values: np.ndarray
     num_rows: int
     coalesced: bool = False
+    # Lazily-computed distinct-row count; coalesced tensors know it for free.
+    _distinct_rows: int | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         self.indices = np.asarray(self.indices, dtype=np.int64)
@@ -99,8 +101,11 @@ class SparseRows:
         """Fraction of distinct rows stored, in [0, 1]."""
         if self.nnz_rows == 0:
             return 0.0
-        distinct = len(np.unique(self.indices))
-        return distinct / self.num_rows
+        if self._distinct_rows is None:
+            self._distinct_rows = (
+                self.nnz_rows if self.coalesced else len(np.unique(self.indices))
+            )
+        return self._distinct_rows / self.num_rows
 
     def __len__(self) -> int:
         return self.nnz_rows
@@ -118,10 +123,13 @@ class SparseRows:
             return self
         if self.nnz_rows == 0:
             return SparseRows(self.indices, self.values, self.num_rows, coalesced=True)
-        uniq, inverse = np.unique(self.indices, return_inverse=True)
-        summed = np.zeros((len(uniq), self.dim), dtype=self.values.dtype)
-        np.add.at(summed, inverse, self.values)
-        return SparseRows(uniq, summed, self.num_rows, coalesced=True)
+        # Stable sort keeps duplicates in storage order, so each group sums
+        # left-to-right exactly as the former ``np.add.at`` scatter did.
+        order = np.argsort(self.indices, kind="stable")
+        sorted_idx = self.indices[order]
+        starts = np.flatnonzero(np.r_[True, sorted_idx[1:] != sorted_idx[:-1]])
+        summed = np.add.reduceat(self.values[order], starts, axis=0)
+        return SparseRows(sorted_idx[starts], summed, self.num_rows, coalesced=True)
 
     def index_select(self, rows: np.ndarray) -> "SparseRows":
         """Sub-gradient containing only the stored rows whose index is in ``rows``.

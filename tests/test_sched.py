@@ -1,0 +1,295 @@
+"""The async priority-scheduled communication engine (repro.comm.sched).
+
+Covers the scheduler's contract: priority order with FIFO ties, urgent
+items preempting queued dense chunks, the token protocol keeping every
+rank on one global execution order, bit-identical inline (synchronous)
+mode, error propagation through handles, the facade's symmetric-only
+surface, and composition with the fault injector.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    CommScheduler,
+    SchedComm,
+    SchedulerClosed,
+    dense_chunk_bounds,
+    run_threaded,
+)
+from repro.faults import FaultPlan, run_threaded_with_faults
+
+
+class TestChunkBounds:
+    def test_small_tensor_is_one_chunk(self):
+        assert dense_chunk_bounds(1000) == [0, 1000]
+
+    def test_large_tensor_splits(self):
+        bounds = dense_chunk_bounds(200_000, chunk_elems=65536)
+        assert bounds[0] == 0 and bounds[-1] == 200_000
+        assert len(bounds) == 5  # ceil(200000/65536) = 4 chunks
+
+    def test_max_chunks_cap(self):
+        bounds = dense_chunk_bounds(10_000_000, chunk_elems=65536, max_chunks=8)
+        assert len(bounds) == 9
+
+    def test_deterministic_in_size_only(self):
+        assert dense_chunk_bounds(123_456) == dense_chunk_bounds(123_456)
+
+
+class TestPriorityOrder:
+    def test_priority_order_with_fifo_ties(self):
+        """Leader pops (priority, submit-seq): lowest first, ties FIFO."""
+
+        def worker(comm):
+            sched = CommScheduler(comm)
+            try:
+                sched.pause()
+                handles = [
+                    sched.submit(
+                        lambda c, i=i: c.rank * 100 + i,
+                        priority=prio,
+                        label=f"item{i}",
+                    )
+                    for i, prio in enumerate([5.0, 1.0, 3.0, 1.0, -1.0])
+                ]
+                sched.resume()
+                results = [h.wait(30) for h in handles]
+                sched.flush()
+                return results, sched.executed_labels
+            finally:
+                sched.close()
+
+        results, order = run_threaded(1, worker)[0]
+        assert results == [0 + i for i in range(5)]
+        assert order == ["item4", "item1", "item3", "item2", "item0"]
+
+    def test_urgent_item_preempts_queued_dense_chunks(self):
+        """An item submitted *after* a chunked dense reduce overtakes the
+        chunks still in the queue — preemption at chunk granularity."""
+        gate = threading.Event()
+        entered = threading.Event()
+
+        def blocker(comm):
+            entered.set()
+            gate.wait(30)
+
+        def worker(comm):
+            sched = CommScheduler(comm)
+            try:
+                sched.submit(blocker, priority=0.0, label="blocker")
+                entered.wait(30)  # chunks below queue behind the blocker
+                flat = np.arange(400, dtype=np.float64)
+                handles = sched.allreduce_chunks(
+                    flat, priority=5.0, label="dense", chunk_elems=100
+                )
+                urgent = sched.submit(lambda c: "now", priority=-1.0, label="prior")
+                gate.set()
+                assert urgent.wait(30) == "now"
+                for h in handles:
+                    h.wait(30)
+                return sched.executed_labels
+            finally:
+                sched.close()
+
+        order = run_threaded(1, worker)[0]
+        assert order[0] == "blocker"
+        assert order[1] == "prior"  # beat all four queued chunks
+        assert order[2:] == [f"dense#c{i}" for i in range(4)]
+
+
+class TestTokenProtocol:
+    def test_all_ranks_share_one_execution_order(self):
+        """Followers obey rank 0's pop order even for collectives."""
+
+        def worker(comm):
+            sched = CommScheduler(comm)
+            try:
+                if comm.rank == 0:
+                    sched.pause()
+                handles = [
+                    sched.submit(
+                        lambda c, i=i: c.allgather(c.rank * 10 + i),
+                        priority=prio,
+                        label=f"item{i}",
+                    )
+                    for i, prio in enumerate([5.0, 1.0, 3.0, -1.0])
+                ]
+                if comm.rank == 0:
+                    sched.resume()
+                results = [h.wait(30) for h in handles]
+                sched.flush()
+                return results, sched.executed_labels
+            finally:
+                sched.close()
+
+        outs = run_threaded(3, worker)
+        want_order = ["item3", "item1", "item2", "item0"]
+        for results, order in outs:
+            assert order == want_order
+            for i, res in enumerate(results):
+                assert res == [0 + i, 10 + i, 20 + i]
+
+    def test_allreduce_chunks_sums_across_ranks(self):
+        def worker(comm):
+            sched = CommScheduler(comm)
+            try:
+                flat = np.full(1000, float(comm.rank + 1))
+                for h in sched.allreduce_chunks(flat, chunk_elems=64):
+                    h.wait(30)
+                return flat
+            finally:
+                sched.close()
+
+        out = run_threaded(2, worker)
+        for flat in out:
+            assert np.array_equal(flat, np.full(1000, 3.0))
+
+
+class TestInlineMode:
+    def test_inline_is_bit_identical_to_overlapped(self):
+        def worker(comm, overlap):
+            sched = CommScheduler(comm, overlap=overlap)
+            try:
+                rng = np.random.default_rng(comm.rank)
+                flat = rng.normal(size=10_000)
+                handles = sched.allreduce_chunks(flat, chunk_elems=1000)
+                gathered = sched.submit(
+                    lambda c: c.allgather(float(c.rank)), priority=-1.0
+                ).wait(30)
+                for h in handles:
+                    h.wait(30)
+                return flat, gathered
+            finally:
+                sched.close()
+
+        overlapped = run_threaded(3, worker, True)
+        inline = run_threaded(3, worker, False)
+        for (f_o, g_o), (f_i, g_i) in zip(overlapped, inline):
+            assert np.array_equal(f_o, f_i)
+            assert g_o == g_i
+
+    def test_inline_executes_in_submission_order(self):
+        def worker(comm):
+            sched = CommScheduler(comm, overlap=False)
+            h = sched.submit(lambda c: "a", priority=100.0, label="late")
+            assert h.done() and h.wait() == "a"  # ran inside submit
+            sched.submit(lambda c: "b", priority=-100.0, label="early")
+            sched.close()
+            return sched.executed_labels
+
+        assert run_threaded(1, worker)[0] == ["late", "early"]
+
+
+class TestErrorHandling:
+    def test_item_error_propagates_and_aborts(self):
+        """Handles re-raise the *original* exception; the control surface
+        (submit/flush) raises SchedulerClosed chained from it."""
+
+        def worker(comm):
+            sched = CommScheduler(comm)
+            try:
+                h = sched.submit(lambda c: 1 // 0, label="boom")
+                with pytest.raises(ZeroDivisionError):
+                    h.wait(30)
+                with pytest.raises(SchedulerClosed) as exc:
+                    sched.flush()
+                assert isinstance(exc.value.__cause__, ZeroDivisionError)
+                with pytest.raises(SchedulerClosed):
+                    sched.submit(lambda c: None)
+            finally:
+                sched.close()
+            return True
+
+        assert run_threaded(1, worker)[0] is True
+
+    def test_close_is_idempotent(self):
+        def worker(comm):
+            sched = CommScheduler(comm)
+            sched.submit(lambda c: c.allgather(comm.rank)).wait(30)
+            sched.close()
+            sched.close()
+            return True
+
+        assert all(run_threaded(2, worker))
+
+
+class TestSchedCommFacade:
+    def test_collectives_route_through_engine(self):
+        def worker(comm):
+            sched = CommScheduler(comm)
+            try:
+                coll = SchedComm(sched)
+                gathered = coll.allgather(comm.rank)
+                summed = coll.allreduce(np.full(10, float(comm.rank + 1)))
+                root = coll.broadcast(comm.rank if comm.rank == 0 else None)
+                coll.barrier()
+                return gathered, summed, root
+            finally:
+                sched.close()
+
+        for gathered, summed, root in run_threaded(2, worker):
+            assert gathered == [0, 1]
+            assert np.array_equal(summed, np.full(10, 3.0))
+            assert root == 0
+
+    def test_point_to_point_raises(self):
+        def worker(comm):
+            sched = CommScheduler(comm)
+            try:
+                coll = SchedComm(sched)
+                with pytest.raises(RuntimeError):
+                    coll.send(1 - comm.rank, "x")
+                with pytest.raises(RuntimeError):
+                    coll.recv(1 - comm.rank)
+            finally:
+                sched.close()
+            return True
+
+        assert all(run_threaded(2, worker))
+
+    def test_byte_accounting_folds_into_base(self):
+        def worker(comm):
+            sched = CommScheduler(comm)
+            try:
+                coll = SchedComm(sched)
+                coll.allgather(np.zeros(100))
+                sched.flush()
+            finally:
+                sched.close()
+            return comm.bytes_sent
+
+        assert all(b > 0 for b in run_threaded(2, worker))
+
+
+class TestFaultComposition:
+    def test_scheduler_over_fault_injector(self):
+        """Channels ride above the injector's sequence envelopes: drops
+        are retransmitted and delays reordered before the demultiplexer
+        sees anything."""
+        plan = FaultPlan(
+            seed=7, drop_prob=0.2, delay_prob=0.5, delay_s=0.002,
+            reorder_prob=0.3, reorder_s=0.005, recv_deadline=20.0,
+        )
+
+        def worker(comm):
+            sched = CommScheduler(comm)
+            try:
+                handles = [
+                    sched.submit(
+                        lambda c, i=i: c.allgather((c.rank, i)),
+                        priority=float(-i),
+                        label=f"g{i}",
+                    )
+                    for i in range(5)
+                ]
+                return [h.wait(30) for h in handles]
+            finally:
+                sched.close()
+
+        outs = run_threaded_with_faults(3, worker, plan)
+        for results in outs:
+            for i, res in enumerate(results):
+                assert res == [(0, i), (1, i), (2, i)]

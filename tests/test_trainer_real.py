@@ -233,3 +233,134 @@ class TestProcessBackend:
         for key in ref.state:
             np.testing.assert_array_equal(got.state[key], ref.state[key],
                                           err_msg=key)
+
+
+class TestOverlapScheduling:
+    """The async comm engine (overlap=True, the default) must train
+    bit-identically to inline execution of the same work items
+    (overlap=False): same chunk bounds, same ring reductions, same
+    per-row optimizer-op order for the carried-over delayed parts."""
+
+    @staticmethod
+    def _pair(cfg, **kw):
+        sync = RealTrainer(cfg, overlap=False, **kw).train()
+        over = RealTrainer(cfg, overlap=True, **kw).train()
+        return sync, over
+
+    @pytest.mark.parametrize("strategy", ["allgather", "allreduce", "embrace"])
+    def test_overlap_bit_identical_to_sync(self, strategy):
+        sync, over = self._pair(
+            GNMT8.tiny(), strategy=strategy, world_size=2, steps=3, seed=5
+        )
+        assert sync.losses == over.losses
+        for key in sync.state:
+            np.testing.assert_array_equal(sync.state[key], over.state[key],
+                                          err_msg=key)
+
+    def test_overlap_with_validation_and_three_workers(self):
+        """Odd shards + mid-run validation: the delayed parts must be
+        flushed before every eval pass for the curves to match."""
+        sync, over = self._pair(
+            GNMT8.tiny(), strategy="embrace", world_size=3, steps=4,
+            seed=2, eval_every=2,
+        )
+        assert sync.losses == over.losses
+        assert sync.val_losses == over.val_losses
+        for key in sync.state:
+            np.testing.assert_array_equal(sync.state[key], over.state[key],
+                                          err_msg=key)
+
+    def test_overlap_with_dgc(self):
+        """DGC's AllGather rides the scheduler facade too."""
+        sync, over = self._pair(
+            GNMT8.tiny(), strategy="embrace", world_size=2, steps=3,
+            seed=4, dgc_ratio=0.25,
+        )
+        assert sync.losses == over.losses
+        for key in sync.state:
+            np.testing.assert_array_equal(sync.state[key], over.state[key],
+                                          err_msg=key)
+
+    def test_overlap_under_faults_matches_clean_sync(self):
+        """Drops/delays/reordering below the scheduler change timing,
+        never numerics: faulty overlapped == clean synchronous."""
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(
+            seed=3, delay_prob=0.3, delay_s=0.002, drop_prob=0.1,
+            reorder_prob=0.2, reorder_s=0.003, recv_deadline=30.0,
+        )
+        kw = dict(strategy="embrace", world_size=2, steps=3, seed=5)
+        clean = RealTrainer(GNMT8.tiny(), overlap=False, **kw).train()
+        faulty = RealTrainer(
+            GNMT8.tiny(), overlap=True, fault_plan=plan, **kw
+        ).train()
+        assert clean.losses == faulty.losses
+        for key in clean.state:
+            np.testing.assert_array_equal(clean.state[key], faulty.state[key],
+                                          err_msg=key)
+
+    @pytest.mark.slow
+    def test_overlap_on_process_backend(self):
+        kw = dict(strategy="embrace", world_size=2, steps=3, seed=5)
+        ref = RealTrainer(GNMT8.tiny(), overlap=False, **kw).train()
+        got = RealTrainer(
+            GNMT8.tiny(), backend="process", overlap=True, **kw
+        ).train()
+        assert got.losses == ref.losses
+        for key in ref.state:
+            np.testing.assert_array_equal(got.state[key], ref.state[key],
+                                          err_msg=key)
+
+
+def _runtime_worker(comm, deferred):
+    """Drive one EmbraceTableRuntime for a few synthetic steps, either
+    fused (apply_gradient) or with the delayed part genuinely carried
+    across the step boundary like the overlapped trainer does."""
+    from repro.engine.embrace_runtime import EmbraceTableRuntime
+    from repro.nn.embedding import Embedding
+    from repro.tensors import SparseRows
+
+    vocab, dim, steps = 48, 8, 4
+    table = Embedding(vocab, dim, rng=np.random.default_rng(7), name="emb")
+    rt = EmbraceTableRuntime(comm, table)
+    inv = 1.0 / comm.world_size
+    rng = np.random.default_rng(100 + comm.rank)
+    ids = [rng.integers(0, vocab, size=12) for _ in range(steps)]
+    grads = [
+        SparseRows(i, rng.normal(size=(len(i), dim)), vocab) for i in ids
+    ]
+    pending = None
+    for t in range(steps):
+        nxt = ids[t + 1] if t + 1 < steps else None
+        global_next = (
+            np.concatenate(comm.allgather(nxt)) if nxt is not None else None
+        )
+        if deferred:
+            if pending is not None:
+                rt.apply_part(pending, final=True)  # step-boundary flush
+                pending = None
+            prior, delayed = rt.split(grads[t], ids[t], global_next)
+            rt.apply_part(rt.exchange(comm, prior, inv), final=False)
+            pending = rt.exchange(comm, delayed, inv)
+        else:
+            rt.apply_gradient(grads[t], ids[t], global_next, scale=inv)
+        if nxt is not None:
+            rt.refresh_rows(nxt)  # deferred mode: pending still unapplied
+    if pending is not None:
+        rt.apply_part(pending, final=True)
+    return rt.gather_full_table()
+
+
+class TestDelayedStepBoundary:
+    def test_deferred_delayed_matches_fused_reference(self):
+        """Carrying the delayed part across the step boundary (through a
+        refresh_rows that must not read its rows) reproduces the fused
+        EmbraceAdam single-update sequence bit-exactly."""
+        from repro.comm import run_threaded
+
+        fused = run_threaded(2, _runtime_worker, False)
+        deferred = run_threaded(2, _runtime_worker, True)
+        for f, d in zip(fused, deferred):
+            np.testing.assert_array_equal(f, d)
+        np.testing.assert_array_equal(fused[0], fused[1])
