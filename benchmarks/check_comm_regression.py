@@ -1,15 +1,23 @@
-"""CI gate: fresh transport + scheduling benchmarks vs committed baselines.
+"""CI gate: fresh transport/scheduling/tuning benchmarks vs committed baselines.
 
-Runs :mod:`benchmarks.bench_comm_transport` and compares the ``guarded``
-speedup ratios against the committed ``BENCH_comm.json`` at the
-repository root; then does the same for
-:mod:`benchmarks.bench_sched`'s stall-fraction ratio against
-``BENCH_sched.json`` (skipped with a note if no baseline is committed).
-Ratios — shm-over-queue, persistent-over-one-shot, sync-over-overlap
-stall — are used instead of absolute numbers because they cancel most
-host-speed variance; a ratio falling more than ``--tolerance`` (default
-30%) below baseline fails the build, as does any loss-curve divergence
-between the scheduler's overlapped and synchronous modes.
+Re-runs each benchmark with the parameters recorded in its committed
+baseline's ``meta`` block and compares the fresh ``guarded`` ratios
+against the baseline — ratios (shm-over-queue, persistent-over-one-shot,
+sync-over-overlap stall, tuning's step-time accuracy and
+default-over-tuned stall) instead of absolute numbers, because they
+cancel most host-speed variance.  A ratio falling more than
+``--tolerance`` (default 30%) below baseline fails the build, as do the
+benches' own absolute criteria: loss-curve divergence anywhere, a tuned
+configuration stalling more than the default, or the calibrated
+simulator missing the measured step time by more than the bar recorded
+in ``BENCH_tune.json``.
+
+Gated baselines (each skipped with a note when not committed, except the
+required transport baseline):
+
+* ``BENCH_comm.json``  — :mod:`benchmarks.bench_comm_transport`
+* ``BENCH_sched.json`` — :mod:`benchmarks.bench_sched`
+* ``BENCH_tune.json``  — :mod:`benchmarks.bench_tune`
 
 Run:  python benchmarks/check_comm_regression.py [--baseline BENCH_comm.json]
 """
@@ -24,18 +32,28 @@ import sys
 HERE = os.path.dirname(os.path.abspath(__file__))
 DEFAULT_BASELINE = os.path.join(HERE, os.pardir, "BENCH_comm.json")
 DEFAULT_SCHED_BASELINE = os.path.join(HERE, os.pardir, "BENCH_sched.json")
+DEFAULT_TUNE_BASELINE = os.path.join(HERE, os.pardir, "BENCH_tune.json")
+
+
+def load_baseline(path: str) -> dict | None:
+    """The committed baseline dict, or None (with a note) if absent."""
+    if not os.path.exists(path):
+        print(f"(no baseline at {path}; skipping)")
+        return None
+    with open(path) as fh:
+        return json.load(fh)
 
 
 def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
-    """Human-readable comparison rows; raises SystemExit text via caller."""
+    """Floor every guarded ratio at baseline * (1 - tolerance)."""
     failures = []
-    rows = [f"{'metric':>24} {'baseline':>10} {'fresh':>10} {'floor':>10}  verdict"]
+    rows = [f"{'metric':>32} {'baseline':>10} {'fresh':>10} {'floor':>10}  verdict"]
     for key, base_value in sorted(baseline["guarded"].items()):
         fresh_value = fresh["guarded"][key]
         floor = base_value * (1.0 - tolerance)
         ok = fresh_value >= floor
         rows.append(
-            f"{key:>24} {base_value:>9.2f}x {fresh_value:>9.2f}x "
+            f"{key:>32} {base_value:>9.2f}x {fresh_value:>9.2f}x "
             f"{floor:>9.2f}x  {'ok' if ok else 'REGRESSION'}"
         )
         if not ok:
@@ -47,42 +65,104 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def gate(
+    baseline: dict,
+    tolerance: float,
+    measure_fn,
+    render_fn,
+    absolute_fn=None,
+) -> list[str]:
+    """Shared gate body: re-measure from the baseline's meta, render the
+    fresh run, floor the guarded ratios, then apply the bench's own
+    absolute criteria (``absolute_fn(fresh) -> list[str]``)."""
+    fresh = measure_fn(baseline["meta"])
+    print(render_fn(fresh))
+    print()
+    failures = compare(baseline, fresh, tolerance)
+    if absolute_fn is not None:
+        failures += absolute_fn(fresh)
+    return failures
+
+
+def check_comm(baseline: dict, tolerance: float, args) -> list[str]:
+    """Gate the transport baseline (meta overridable from the CLI)."""
+    from bench_comm_transport import measure, render
+
+    def measure_fn(meta):
+        return measure(
+            args.world or meta["world"],
+            args.payload_mb or meta["payload_mb"],
+            args.iters or meta["iters"],
+        )
+
+    return gate(baseline, tolerance, measure_fn, render)
+
+
 def check_sched(baseline_path: str, tolerance: float) -> list[str]:
     """Gate the scheduler baseline: stall ratio floor + bit-identity."""
-    if not os.path.exists(baseline_path):
-        print(f"(no scheduler baseline at {baseline_path}; skipping)")
+    baseline = load_baseline(baseline_path)
+    if baseline is None:
         return []
-    with open(baseline_path) as fh:
-        baseline = json.load(fh)
-    meta = baseline["meta"]
 
     from bench_sched import measure, render
 
-    fresh = measure(
-        world=meta["world"],
-        steps=meta["steps"],
-        trials=meta["trials"],
-        vocab=meta["config"]["vocab"],
-        dim_divisor=meta["config"]["dim_divisor"],
-    )
-    print(render(fresh))
-    print()
-    failures = compare(baseline, fresh, tolerance)
-    if not fresh["losses_identical"]:
-        failures.append(
-            "losses_identical: overlapped training diverged from the "
-            "synchronous loss curve (must be bit-identical)"
+    def measure_fn(meta):
+        return measure(
+            world=meta["world"],
+            steps=meta["steps"],
+            trials=meta["trials"],
+            vocab=meta["config"]["vocab"],
+            dim_divisor=meta["config"]["dim_divisor"],
         )
-    return failures
+
+    def absolute_fn(fresh):
+        if not fresh["losses_identical"]:
+            return [
+                "losses_identical: overlapped training diverged from the "
+                "synchronous loss curve (must be bit-identical)"
+            ]
+        return []
+
+    return gate(baseline, tolerance, measure_fn, render, absolute_fn)
+
+
+def check_tune(baseline_path: str, tolerance: float) -> list[str]:
+    """Gate the auto-tuning baseline: accuracy/stall ratio floors plus
+    bench_tune's absolute criteria (prediction error within the bar,
+    tuned stall <= default's, bit-identical losses)."""
+    baseline = load_baseline(baseline_path)
+    if baseline is None:
+        return []
+
+    from bench_tune import absolute_checks, measure, render
+
+    def measure_fn(meta):
+        return measure(
+            world=meta["world"],
+            steps=meta["steps"],
+            vocab=meta["config"]["vocab"],
+            dim_divisor=meta["config"]["dim_divisor"],
+            seed=meta["seed"],
+            backend=meta["backend"],
+            transport=meta["transport"],
+            top_k=meta["top_k"],
+        )
+
+    return gate(baseline, tolerance, measure_fn, render, absolute_checks)
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
     parser.add_argument("--sched-baseline", default=DEFAULT_SCHED_BASELINE)
+    parser.add_argument("--tune-baseline", default=DEFAULT_TUNE_BASELINE)
     parser.add_argument(
         "--skip-sched", action="store_true",
-        help="gate only the transport baseline",
+        help="skip the scheduler-stall gate",
+    )
+    parser.add_argument(
+        "--skip-tune", action="store_true",
+        help="skip the auto-tuning gate",
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.30,
@@ -102,21 +182,14 @@ def main() -> int:
 
     with open(args.baseline) as fh:
         baseline = json.load(fh)
-    meta = baseline["meta"]
 
-    from bench_comm_transport import measure, render
-
-    fresh = measure(
-        args.world or meta["world"],
-        args.payload_mb or meta["payload_mb"],
-        args.iters or meta["iters"],
-    )
-    print(render(fresh))
-    print()
-    failures = compare(baseline, fresh, args.tolerance)
+    failures = check_comm(baseline, args.tolerance, args)
     if not args.skip_sched:
         print()
         failures += check_sched(args.sched_baseline, args.tolerance)
+    if not args.skip_tune:
+        print()
+        failures += check_tune(args.tune_baseline, args.tolerance)
     if failures:
         print("\nFAIL:", *failures, sep="\n  ")
         return 1

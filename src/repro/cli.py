@@ -7,6 +7,7 @@ Subcommands
 ``train``       real multi-worker training at tiny scale
 ``faults``      fault-injection degradation curves / crash-recovery demo
 ``trace``       export a simulated step timeline as a Chrome trace
+``tune``        probe this host, fit alpha-beta, auto-tune the schedule
 ``sizes``       print Table 1 (model/embedding sizes)
 """
 
@@ -174,6 +175,61 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.models import get_config
+    from repro.tune import (
+        DEFAULT_PROBE_ITERS,
+        PROBE_SIZES_BYTES,
+        SMOKE_SIZES_BYTES,
+        SearchSpace,
+        autotune,
+    )
+
+    if args.smoke:
+        # CI pipeline exercise: thread backend, tiny probes, <= 4-candidate
+        # grid, short runs — every stage of probe -> fit -> search ->
+        # validate runs, in seconds.
+        backend, transport = "thread", None
+        world = min(args.world, 2)
+        steps = min(args.steps, 3)
+        sizes, iters = SMOKE_SIZES_BYTES, 3
+        space, rungs, top_k = SearchSpace.smoke(), (2,), 1
+    else:
+        backend, transport = args.backend, args.transport
+        world, steps = args.world, args.steps
+        sizes, iters = PROBE_SIZES_BYTES, DEFAULT_PROBE_ITERS
+        space, rungs, top_k = SearchSpace(), (2, 4), args.top_k
+    if backend == "thread":
+        transport = None
+    report = autotune(
+        get_config(args.model).tiny(),
+        world_size=world,
+        backend=backend,
+        transport=transport,
+        steps=steps,
+        seed=args.seed,
+        space=space,
+        probe_sizes=sizes,
+        probe_iters=iters,
+        rungs=rungs,
+        top_k=top_k,
+    )
+    print(report.render())
+    w = report.winner
+    print(f"\nwinner: {w.candidate.label()}  "
+          f"(measured stall {w.measured_stall_frac:.4f} vs default "
+          f"{report.default.measured_stall_frac:.4f}; "
+          f"step-time prediction error {w.step_time_error:.1%})")
+    if args.output:
+        report.tuned_profile.save(args.output)
+        print(f"wrote {args.output}")
+    if not report.losses_identical:
+        print("ERROR: loss curves diverged across knob settings",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_sizes(args: argparse.Namespace) -> int:
     from repro.models.sizing import sizing_table
 
@@ -238,6 +294,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=3,
                    help="training steps for --real")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "tune",
+        help="probe this host, fit alpha-beta links, auto-tune SchedKnobs",
+    )
+    p.add_argument("--model", default="GNMT-8", choices=models)
+    p.add_argument("--world", type=int, default=4)
+    p.add_argument("--steps", type=int, default=5)
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--backend", default="process", choices=("thread", "process"))
+    p.add_argument("--transport", default="shm", choices=("shm", "queue"))
+    p.add_argument("--top-k", type=int, default=2,
+                   help="candidates replayed on the real backend")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the winning TunedProfile JSON here")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI pipeline check: thread backend, tiny probes, "
+                        "<= 4 candidates")
+    p.set_defaults(func=_cmd_tune)
 
     p = sub.add_parser("sizes", help="print Table 1")
     p.set_defaults(func=_cmd_sizes)

@@ -6,7 +6,12 @@ nodes, PCIe within a node (§5.2.1).
 """
 
 from repro.cluster.hardware import CPU_HOST, GPUSpec, RTX2080, RTX3090
-from repro.cluster.topology import ClusterSpec, rtx2080_cluster, rtx3090_cluster
+from repro.cluster.topology import (
+    ClusterSpec,
+    rtx2080_cluster,
+    rtx3090_cluster,
+    tuned_cluster,
+)
 
 __all__ = [
     "GPUSpec",
@@ -16,4 +21,5 @@ __all__ = [
     "ClusterSpec",
     "rtx3090_cluster",
     "rtx2080_cluster",
+    "tuned_cluster",
 ]

@@ -108,6 +108,41 @@ class ClusterSpec:
         )
 
 
+def tuned_cluster(
+    world_size: int,
+    bandwidth: float,
+    latency: float,
+    name: str = "tuned",
+    gpu: GPUSpec | None = None,
+) -> ClusterSpec:
+    """A single-node cluster whose link constants come from measurement.
+
+    Built by :mod:`repro.tune` from a fitted :class:`~repro.tune.TunedProfile`:
+    ``bandwidth`` / ``latency`` are the per-hop alpha-beta parameters
+    recovered from probe AllReduces on *this* host, so a
+    :class:`~repro.collectives.CostModel` over the returned spec prices
+    collectives for the machine that was probed rather than for the
+    paper's testbed.  All workers sit in one node: the measured numbers
+    already include whatever sharing the real transport imposes.
+    """
+    check_positive("world_size", world_size)
+    check_positive("bandwidth", bandwidth)
+    if latency < 0:
+        raise ValueError(f"latency must be >= 0, got {latency!r}")
+    from repro.cluster.hardware import CPU_HOST
+
+    return ClusterSpec(
+        name=name,
+        num_nodes=1,
+        gpus_per_node=world_size,
+        gpu=gpu if gpu is not None else CPU_HOST,
+        intra_bw=bandwidth,
+        inter_bw=bandwidth,
+        intra_latency=latency,
+        inter_latency=latency,
+    )
+
+
 def rtx3090_cluster(num_nodes: int = 4, gpus_per_node: int = 4) -> ClusterSpec:
     """The paper's RTX3090 cluster: PCIe 4.0 x16 intra, 100 Gbps IB inter."""
     # PCIe 4.0 x16 is 32 GB/s raw, but a 4-GPU ring through one root

@@ -80,13 +80,41 @@ class CostModel:
     the Table 2 symbolic formulas (the paper's uniform-B reading).
     """
 
-    def __init__(self, cluster: ClusterSpec):
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        half_utilization_bytes: float = HALF_UTILIZATION_BYTES,
+    ):
+        check_non_negative("half_utilization_bytes", half_utilization_bytes)
         self.cluster = cluster
         self.N = cluster.world_size
         self.B_ring = cluster.ring_bandwidth()
         self.B_pairwise = cluster.pairwise_bandwidth()
         self.B = self.B_pairwise
         self.beta = cluster.latency()
+        self.half_utilization_bytes = half_utilization_bytes
+
+    @classmethod
+    def from_profile(cls, profile, transport: str | None = None) -> "CostModel":
+        """Cost model calibrated from a measured :class:`~repro.tune.TunedProfile`.
+
+        The profile's fitted alpha-beta link parameters become a
+        single-node :func:`~repro.cluster.tuned_cluster`.  The
+        half-utilization penalty is disabled (set to 0): the linear fit
+        already absorbs any size-dependent efficiency of the real
+        transport into its latency/bandwidth pair, and re-applying the
+        hand-calibrated curve on top would double-count it.
+        """
+        link = profile.link(transport)
+        from repro.cluster.topology import tuned_cluster
+
+        cluster = tuned_cluster(
+            profile.world_size,
+            bandwidth=link.bandwidth_Bps,
+            latency=link.latency_s,
+            name=f"tuned-{link.transport}",
+        )
+        return cls(cluster, half_utilization_bytes=0.0)
 
     # ------------------------------------------------------------------ #
     def _transfer(self, msg_bytes: float, bandwidth: float | None = None) -> float:
@@ -94,7 +122,7 @@ class CostModel:
         link = bandwidth if bandwidth is not None else self.B_pairwise
         if msg_bytes <= 0:
             return self.beta
-        bw = effective_bandwidth(link, msg_bytes)
+        bw = effective_bandwidth(link, msg_bytes, self.half_utilization_bytes)
         return msg_bytes / bw + self.beta
 
     # ------------------------------------------------------------------ #

@@ -33,6 +33,7 @@ from repro.comm.sched import (
     CommHandle,
     CommScheduler,
     SchedComm,
+    SchedKnobs,
     SchedulerClosed,
     dense_chunk_bounds,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "CommScheduler",
     "CommHandle",
     "SchedComm",
+    "SchedKnobs",
     "SchedulerClosed",
     "PRIORITY_URGENT",
     "dense_chunk_bounds",

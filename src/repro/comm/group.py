@@ -115,13 +115,16 @@ class CommGroup:
         world_size: int,
         *,
         backend: str = "thread",
-        transport: str = "shm",
+        transport: str | None = None,
         faults=None,
         timeout: float | None = None,
         trace=None,
+        profile=None,
     ):
         check_positive("world_size", world_size)
         check_in("backend", backend, set(BACKENDS))
+        if transport is None:
+            transport = getattr(profile, "transport", None) or "shm"
         check_in("transport", transport, set(TRANSPORTS))
         if timeout is None:
             if faults is not None:
@@ -179,10 +182,11 @@ def open_group(
     world_size: int,
     *,
     backend: str = "thread",
-    transport: str = "shm",
+    transport: str | None = None,
     faults=None,
     timeout: float | None = None,
     trace=None,
+    profile=None,
 ) -> CommGroup:
     """Open a communicator group: the one factory for backends, fault
     injection, and tracing.
@@ -208,6 +212,10 @@ def open_group(
         ``True`` / :class:`~repro.obs.TraceConfig` to record per-rank
         span timelines; merged results appear on
         :attr:`CommGroup.last_trace` after each :meth:`CommGroup.run`.
+    profile:
+        Optional :class:`~repro.tune.TunedProfile`.  Supplies the
+        default ``transport`` (an explicit ``transport=`` argument
+        wins); when neither is given the default stays ``"shm"``.
     """
     return CommGroup(
         world_size,
@@ -216,6 +224,7 @@ def open_group(
         faults=faults,
         timeout=timeout,
         trace=trace,
+        profile=profile,
     )
 
 

@@ -53,9 +53,11 @@ reordering are repaired before the demultiplexer ever sees a message.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 import threading
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Callable
 
 import numpy as np
@@ -80,6 +82,67 @@ DEFAULT_CHUNK_ELEMS = 65536
 
 #: Upper bound on chunks per tensor (tiny-model runs stay one item).
 DEFAULT_MAX_CHUNKS = 8
+
+#: Elements per dense gradient bucket: consecutive dense parameters (in
+#: backward order) are flattened together until a bucket reaches this
+#: many elements, then reduced as one chunked AllReduce.
+DEFAULT_BUCKET_ELEMS = 65536
+
+
+@dataclass(frozen=True)
+class SchedKnobs:
+    """The scheduler's tunable constants, gathered into one value.
+
+    Every field defaults to the constant the code used before the knob
+    existed, so ``SchedKnobs()`` reproduces historical behaviour
+    bit-for-bit.  Instances are frozen (hashable, safe to share across
+    trainer ranks) and validate on construction.
+
+    ``delayed_min_rows`` folds a *smaller-than-threshold* delayed sparse
+    part back into the prior part (the whole gradient is exchanged
+    before the optimizer step).  Folding is loss-curve-safe — both parts
+    of the §5.7 split update use the same bias-correction step and the
+    rows are disjoint — whereas delaying *more* rows would change which
+    shards the next step's refresh observes, so the knob only moves
+    bytes in the bit-identical direction.
+    """
+
+    chunk_elems: int = DEFAULT_CHUNK_ELEMS
+    max_chunks: int = DEFAULT_MAX_CHUNKS
+    bucket_elems: int = DEFAULT_BUCKET_ELEMS
+    delayed_min_rows: int = 0
+
+    def __post_init__(self):
+        if not isinstance(self.chunk_elems, int) or self.chunk_elems <= 0:
+            raise ValueError(
+                f"chunk_elems must be a positive int, got {self.chunk_elems!r}"
+            )
+        if not isinstance(self.max_chunks, int) or self.max_chunks < 1:
+            raise ValueError(
+                f"max_chunks must be an int >= 1, got {self.max_chunks!r}"
+            )
+        if not isinstance(self.bucket_elems, int) or self.bucket_elems <= 0:
+            raise ValueError(
+                f"bucket_elems must be a positive int, got {self.bucket_elems!r}"
+            )
+        if not isinstance(self.delayed_min_rows, int) or self.delayed_min_rows < 0:
+            raise ValueError(
+                f"delayed_min_rows must be an int >= 0, "
+                f"got {self.delayed_min_rows!r}"
+            )
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-ready); inverse of ``from_dict``."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SchedKnobs":
+        """Build from a mapping, rejecting unknown keys."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown SchedKnobs fields: {sorted(unknown)}")
+        return cls(**d)
 
 
 def dense_chunk_bounds(

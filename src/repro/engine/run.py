@@ -74,6 +74,13 @@ class RunConfig:
     simulator (``steps`` then scales the reported wall time).  ``trace``
     / ``faults`` apply to real runs (the simulator traces inherently and
     has its own degradation models).
+
+    ``knobs`` (a :class:`~repro.comm.SchedKnobs` or dict) and
+    ``profile`` (a :class:`~repro.tune.TunedProfile` from ``repro
+    tune``) configure the real trainer's scheduler: explicit ``knobs``
+    win, then the profile's, then the historical defaults.  The
+    profile's ``transport`` is used when ``transport`` is left at its
+    ``None`` default (falling back to ``"shm"``).
     """
 
     model: ModelConfig
@@ -85,9 +92,11 @@ class RunConfig:
     lr: float = 1e-3
     seed: int = 0
     backend: str = "thread"  # real mode: "thread" | "process"
-    transport: str = "shm"  # real mode, process backend
+    transport: str | None = None  # real mode, process backend
     trace: Any = None  # None/bool/TraceConfig (real mode)
     faults: Any = None  # FaultPlan (real mode)
+    knobs: Any = None  # SchedKnobs / dict (real mode)
+    profile: Any = None  # TunedProfile (real mode)
 
     def __post_init__(self) -> None:
         check_in("mode", self.mode, {"real", "sim"})
@@ -170,6 +179,7 @@ def _run_real(config: RunConfig) -> RunResult:
             config.world_size,
             backend=config.backend,
             transport=config.transport,
+            profile=config.profile,
         )
     try:
         trainer = RealTrainer(
@@ -183,6 +193,8 @@ def _run_real(config: RunConfig) -> RunResult:
             fault_plan=config.faults,
             trace=config.trace,
             group=group,
+            knobs=config.knobs,
+            profile=config.profile,
         )
         result = trainer.train()
     finally:

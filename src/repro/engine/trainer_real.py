@@ -54,7 +54,7 @@ from repro.comm import (
     alltoall_column_shards,
     run_threaded,
 )
-from repro.comm.sched import DEFAULT_CHUNK_ELEMS
+from repro.comm.sched import DEFAULT_BUCKET_ELEMS, SchedKnobs
 from repro.obs import (
     SpanRecorder,
     TraceBundle,
@@ -156,6 +156,8 @@ class RealTrainer:
         trace=None,
         group: CommGroup | None = None,
         overlap: bool = True,
+        knobs: SchedKnobs | dict | None = None,
+        profile=None,
     ):
         """``dgc_ratio`` (optional) enables Deep-Gradient-Compression on
         the *dense* gradients: each rank top-k sparsifies with error
@@ -197,6 +199,15 @@ class RealTrainer:
         work items inline — same chunking, same reduction order — so
         both modes train **bit-identically**; overlap only lowers the
         measured computation-stall fraction (``result.trace``).
+
+        ``knobs`` (a :class:`~repro.comm.SchedKnobs` or its dict form)
+        overrides the scheduler's bucket/chunk sizing and the
+        delayed-fold threshold; ``profile`` (a
+        :class:`~repro.tune.TunedProfile` from ``repro tune``) supplies
+        knobs when ``knobs`` is not given.  The defaults reproduce the
+        historical constants, and every knob setting trains
+        bit-identically at a fixed seed — knobs move *when* bytes
+        travel, never their arithmetic.
         """
         check_in("strategy", strategy, {"allgather", "allreduce", "embrace"})
         if backend is not None or transport is not None:
@@ -248,6 +259,16 @@ class RealTrainer:
         self.trace = as_trace_config(trace)
         self.group = group
         self.overlap = overlap
+        if isinstance(knobs, dict):
+            knobs = SchedKnobs.from_dict(knobs)
+        if knobs is None and profile is not None:
+            knobs = profile.knobs
+        if knobs is None:
+            knobs = SchedKnobs()
+        if not isinstance(knobs, SchedKnobs):
+            raise TypeError(f"knobs must be a SchedKnobs, got {type(knobs)}")
+        self.knobs = knobs
+        self.profile = profile
 
     # ------------------------------------------------------------------ #
     def __getstate__(self) -> dict:
@@ -518,7 +539,7 @@ class RealTrainer:
         # order, but the engine serves the block the next forward needs
         # first.
         dense_order = self._dense_schedule(model, dense_params)
-        dense_buckets = self._dense_buckets(dense_order)
+        dense_buckets = self._dense_buckets(dense_order, self.knobs.bucket_elems)
 
         obs = comm.obs  # NULL_RECORDER unless a SpanRecorder is installed
         # Delayed sparse parts carried across the step boundary:
@@ -567,7 +588,11 @@ class RealTrainer:
                         for p, start, stop in members:
                             buf[start:stop] = p.grad.reshape(-1)
                         dense_handles += sched.allreduce_chunks(
-                            buf, priority=prio, label=f"dense:b{i}"
+                            buf,
+                            priority=prio,
+                            label=f"dense:b{i}",
+                            chunk_elems=self.knobs.chunk_elems,
+                            max_chunks=self.knobs.max_chunks,
                         )
                         dense_flats.append((members, buf))
                 else:
@@ -755,7 +780,9 @@ class RealTrainer:
         return order
 
     @staticmethod
-    def _dense_buckets(dense_order) -> list[tuple[float, list, int, object]]:
+    def _dense_buckets(
+        dense_order, bucket_elems: int = DEFAULT_BUCKET_ELEMS
+    ) -> list[tuple[float, list, int, object]]:
         """Fuse dense gradients into few large AllReduce buffers.
 
         The per-step profile is dominated by per-collective fixed cost
@@ -763,8 +790,9 @@ class RealTrainer:
         small dense tensors each paying it separately swamps the sparse
         exchanges the 2D schedule is trying to prioritize.  Greedily
         packing consecutive tensors — in backward-completion order, one
-        bucket per dtype run, up to :data:`~repro.comm.sched.
-        DEFAULT_CHUNK_ELEMS` elements — collapses them into a handful of
+        bucket per dtype run, up to ``bucket_elems`` elements (default
+        :data:`~repro.comm.sched.DEFAULT_BUCKET_ELEMS`, tunable via
+        :class:`~repro.comm.SchedKnobs`) — collapses them into a handful of
         fused reductions, each still submitted through
         :meth:`~repro.comm.CommScheduler.allreduce_chunks` so sparse
         items preempt between chunks.  A bucket takes the most urgent
@@ -790,7 +818,7 @@ class RealTrainer:
         for p_prio, p in reversed(dense_order):
             size = p.data.size
             if members and (
-                p.data.dtype != dtype or total + size > DEFAULT_CHUNK_ELEMS
+                p.data.dtype != dtype or total + size > bucket_elems
             ):
                 close()
             if not members:
@@ -858,6 +886,16 @@ class RealTrainer:
             )
             rt = runtimes[name]
             prior, delayed = rt.split(grad, current_ids, global_next)
+            if (
+                self.knobs.delayed_min_rows
+                and 0 < delayed.nnz_rows < self.knobs.delayed_min_rows
+            ):
+                # A tiny delayed part buys almost no overlap but still
+                # gates the next step boundary: fold it back into the
+                # prior exchange.  Bit-safe — both split parts use the
+                # same bias-correction step and rows stay disjoint, so
+                # prior-of-everything ≡ prior+delayed (see SchedKnobs).
+                prior, delayed = rt.split(grad, current_ids, None)
             prior_h = sched.submit(
                 lambda c, g=prior, rt=rt: rt.exchange(c, g, inv_world),
                 priority=PRIORITY_PRIOR,

@@ -1,0 +1,477 @@
+"""Declarative knob search over the calibrated simulator.
+
+A :class:`SearchSpace` enumerates candidate :class:`~repro.comm.SchedKnobs`
+(plus partition strategy and transport); each :class:`Candidate` is
+priced by building the overlapped trainer's per-step task graph —
+forward/backward and optimizer compute lanes from *measured* spans,
+every collective priced by the profile-calibrated
+:class:`~repro.collectives.CostModel` — and executing it on the
+discrete-event simulator (:func:`repro.sim.execute`).  The graph mirrors
+:class:`~repro.engine.trainer_real.RealTrainer`'s schedule: dense
+buckets split into preemptible chunks at their horizontal priorities,
+prior sparse AlltoAlls at ``PRIORITY_PRIOR`` gating the hoisted refresh,
+delayed parts trailing into the next step's boundary flush.
+
+Ranking runs grid search refined by successive halving: every candidate
+is simulated at a small step count, survivors are re-simulated at higher
+fidelity.  Everything is deterministic given the seed; the per-candidate
+evaluations are independent, so callers may pass any ``map``-compatible
+``map_fn`` (e.g. a process pool's) to parallelize a large grid.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.comm.sched import PRIORITY_URGENT, SchedKnobs, dense_chunk_bounds
+from repro.schedule import PRIORITY_DELAYED, PRIORITY_PRIOR
+from repro.sim import TaskGraph, execute
+from repro.tune.fit import TunedProfile
+
+#: Float32 — every gradient this trainer ships.
+DTYPE_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the search space."""
+
+    knobs: SchedKnobs = field(default_factory=SchedKnobs)
+    strategy: str = "embrace"
+    transport: str | None = None
+
+    def label(self) -> str:
+        k = self.knobs
+        parts = [
+            self.strategy,
+            f"chunk={k.chunk_elems}",
+            f"maxc={k.max_chunks}",
+            f"bucket={k.bucket_elems}",
+        ]
+        if k.delayed_min_rows:
+            parts.append(f"fold<{k.delayed_min_rows}")
+        if self.transport:
+            parts.append(self.transport)
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Cartesian knob grid; every axis is a tuple of candidate values."""
+
+    chunk_elems: tuple[int, ...] = (16_384, 65_536, 262_144)
+    max_chunks: tuple[int, ...] = (4, 8, 16)
+    bucket_elems: tuple[int, ...] = (65_536, 262_144)
+    delayed_min_rows: tuple[int, ...] = (0,)
+    strategy: tuple[str, ...] = ("embrace",)
+    transport: tuple[str | None, ...] = (None,)
+
+    def __post_init__(self):
+        for name in (
+            "chunk_elems", "max_chunks", "bucket_elems",
+            "delayed_min_rows", "strategy", "transport",
+        ):
+            if not getattr(self, name):
+                raise ValueError(f"SearchSpace.{name} must be non-empty")
+
+    @classmethod
+    def smoke(cls) -> "SearchSpace":
+        """A <= 4-candidate grid for CI smoke runs (``repro tune --smoke``)."""
+        return cls(
+            chunk_elems=(16_384, 65_536),
+            max_chunks=(8,),
+            bucket_elems=(65_536, 262_144),
+        )
+
+    def candidates(self) -> list[Candidate]:
+        """The grid in deterministic (itertools.product) order; knob
+        validation happens in each :class:`~repro.comm.SchedKnobs`."""
+        out = []
+        for ce, mc, be, dm, st, tr in itertools.product(
+            self.chunk_elems, self.max_chunks, self.bucket_elems,
+            self.delayed_min_rows, self.strategy, self.transport,
+        ):
+            out.append(
+                Candidate(
+                    knobs=SchedKnobs(
+                        chunk_elems=ce, max_chunks=mc,
+                        bucket_elems=be, delayed_min_rows=dm,
+                    ),
+                    strategy=st,
+                    transport=tr,
+                )
+            )
+        return out
+
+
+# --------------------------------------------------------------------- #
+# Measured workload
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TableLoad:
+    """Per-step sparse traffic of one embedding table (bytes, averaged)."""
+
+    name: str
+    prior_bytes: float
+    delayed_bytes: float
+    coalesced_bytes: float
+    dense_bytes: float  # full densified table (the "allreduce" strategy)
+    delayed_rows: float
+    ids_bytes: float  # next-iteration id lists (the fused AllGather)
+    lookup_bytes: float  # hoisted refresh: reassembled rows
+
+
+@dataclass(frozen=True)
+class MeasuredWorkload:
+    """What one step of the real workload costs on this host.
+
+    Compute durations come from the ``fwd_bwd`` / ``optimizer`` spans of
+    a traced default-configuration run (so they already include
+    whatever CPU contention the real world size imposes); traffic
+    volumes come from :func:`repro.engine.workload.measure_workload`'s
+    gradient statistics.
+    """
+
+    world_size: int
+    fwd_bwd_s: float
+    optimizer_s: float
+    dense_param_sizes: tuple[tuple[float, int], ...]  # (priority, elems)
+    tables: tuple[TableLoad, ...]
+    measured_step_s: float  # default config
+    measured_stall_frac: float
+    #: Per-step host time outside the recorded compute spans (gradient
+    #: splits, bucket copies, scheduler bookkeeping).  Calibrated by
+    #: :func:`calibrate_overhead` as the default configuration's
+    #: measured-minus-simulated residual; knob-independent, so it shifts
+    #: every candidate identically.
+    step_overhead_s: float = 0.0
+
+
+def _median_span(trace, lane: str, name: str) -> float:
+    durs = [
+        e.duration for e in trace.entries
+        if e.resource == lane and e.name == name
+    ]
+    if not durs:
+        raise ValueError(f"no {name!r} spans on lane {lane!r}")
+    return float(np.median(durs))
+
+
+def measured_step_time(trace, steps: int, lane: str = "compute:0") -> float:
+    """Steady-state step seconds: spacing of successive ``fwd_bwd`` starts.
+
+    Robust against setup (model build before the first step) and
+    teardown (final state gather after the last) inflating
+    ``makespan / steps``; needs ``steps >= 2``.
+    """
+    starts = sorted(
+        e.start for e in trace.entries
+        if e.resource == lane and e.name == "fwd_bwd"
+    )
+    if len(starts) < 2:
+        raise ValueError(f"need >= 2 fwd_bwd spans on {lane!r}, got {len(starts)}")
+    return (starts[-1] - starts[0]) / (len(starts) - 1)
+
+
+def measure_workload_from_run(config, world_size: int, result) -> MeasuredWorkload:
+    """Distill a traced real :class:`~repro.engine.run.RunResult` (default
+    knobs) plus the analytic gradient statistics into a workload model."""
+    from repro.engine.trainer_real import RealTrainer
+    from repro.engine.workload import measure_workload
+    from repro.models.registry import build_model
+
+    bundle = result.raw.trace
+    trace = bundle.trace
+    fwd = _median_span(trace, "compute:0", "fwd_bwd")
+    opt = _median_span(trace, "compute:0", "optimizer")
+    step_s = measured_step_time(trace, result.steps)
+    stall_frac = bundle.computation_stall(0) / trace.makespan
+
+    model = build_model(config, rng=np.random.default_rng(0))
+    trainer = RealTrainer(config, strategy="embrace", world_size=world_size)
+    dense_order = trainer._dense_schedule(model, model.dense_parameters())
+    dense_sizes = tuple((float(p_prio), int(p.data.size)) for p_prio, p in dense_order)
+
+    stats = measure_workload(config, world_size=world_size)
+    tables = []
+    for name, st in sorted(stats.tables.items()):
+        row_payload = st.dim * DTYPE_BYTES  # values; ids ride alongside
+        tables.append(
+            TableLoad(
+                name=name,
+                prior_bytes=st.prior_bytes,
+                delayed_bytes=st.delayed_bytes,
+                coalesced_bytes=st.coalesced_bytes,
+                dense_bytes=float(st.vocab_size * st.dim * DTYPE_BYTES),
+                delayed_rows=st.delayed_rows,
+                ids_bytes=st.coalesced_rows * 8.0,
+                lookup_bytes=st.coalesced_rows * world_size * row_payload,
+            )
+        )
+    return MeasuredWorkload(
+        world_size=world_size,
+        fwd_bwd_s=fwd,
+        optimizer_s=opt,
+        dense_param_sizes=dense_sizes,
+        tables=tuple(tables),
+        measured_step_s=step_s,
+        measured_stall_frac=stall_frac,
+    )
+
+
+def calibrate_overhead(
+    profile: TunedProfile,
+    workload: MeasuredWorkload,
+    n_steps: int = 3,
+    transport: str | None = None,
+) -> MeasuredWorkload:
+    """Fill :attr:`MeasuredWorkload.step_overhead_s` from the default run.
+
+    Simulates the *default* candidate with zero overhead and attributes
+    the measured-vs-simulated step-time residual to per-step host work.
+    The overhead is knob-independent (same Python bookkeeping whatever
+    the chunk sizes), so calibrating it on the default configuration
+    leaves candidate *differences* purely model-driven.  Clamped at 0:
+    a simulator already slower than reality gets no negative help.
+    """
+    base = replace(workload, step_overhead_s=0.0)
+    raw = predict_candidate(
+        profile, base, default_candidate(transport=transport), n_steps=n_steps
+    )
+    overhead = max(0.0, workload.measured_step_s - raw.step_time_s)
+    return replace(workload, step_overhead_s=overhead)
+
+
+# --------------------------------------------------------------------- #
+# Candidate evaluation
+# --------------------------------------------------------------------- #
+def _pack_buckets(
+    sizes: list[tuple[float, int]], bucket_elems: int
+) -> list[tuple[float, int]]:
+    """Greedy consecutive packing, mirroring ``RealTrainer._dense_buckets``
+    (single-dtype case): returns ``(priority, total_elems)`` per bucket
+    over the backward-completion (reversed) order."""
+    buckets: list[tuple[float, int]] = []
+    prio, total = 0.0, 0
+    for p_prio, size in reversed(sizes):
+        if total and total + size > bucket_elems:
+            buckets.append((prio, total))
+            total = 0
+        prio = p_prio if total == 0 else min(prio, p_prio)
+        total += size
+    if total:
+        buckets.append((prio, total))
+    return buckets
+
+
+@dataclass(frozen=True)
+class PredictedRun:
+    """Simulator verdict for one candidate."""
+
+    candidate: Candidate
+    step_time_s: float
+    stall_frac: float
+    makespan_s: float
+    n_steps: int
+
+
+def predict_candidate(
+    profile: TunedProfile,
+    workload: MeasuredWorkload,
+    candidate: Candidate,
+    n_steps: int = 3,
+) -> PredictedRun:
+    """Build + execute the candidate's chained-step task graph.
+
+    One ``compute`` lane (forward/backward, optimizer) and one ``comm``
+    lane (the scheduler's comm thread serving by priority) per the
+    rank-0 view; collective durations come from the calibrated cost
+    model.  Stall fraction uses the same §5.4 code path as real traces.
+    """
+    cost = profile.cost_model(candidate.transport)
+    k = candidate.knobs
+    buckets = _pack_buckets(list(workload.dense_param_sizes), k.bucket_elems)
+    g = TaskGraph()
+    prev_opt: str | None = None
+    prev_refresh: list[str] = []
+    prev_delayed: list[str] = []
+    for i in range(n_steps):
+        fwd = f"fwd:{i}"
+        fwd_deps = [d for d in [prev_opt] if d] + prev_refresh
+        g.add_task(
+            fwd, workload.fwd_bwd_s, resource="compute", kind="compute",
+            deps=fwd_deps,
+        )
+        # Previous step's delayed parts gate this step's boundary flush
+        # (they must be applied before the optimizer touches shards).
+        boundary_deps = [fwd] + prev_delayed
+        prev_refresh = []
+        prev_delayed = []
+        # Scalar loss allreduce: submitted after fwd, waited end of step.
+        loss = f"loss:{i}"
+        g.add_task(
+            loss, cost.allreduce(8).seconds, resource="comm", kind="comm",
+            priority=0.0, deps=[fwd],
+        )
+        # Dense buckets -> preemptible chunks.
+        dense_chunks: list[str] = []
+        for b, (prio, total) in enumerate(buckets):
+            bounds = dense_chunk_bounds(total, k.chunk_elems, k.max_chunks)
+            for c in range(len(bounds) - 1):
+                elems = bounds[c + 1] - bounds[c]
+                tname = f"dense:{i}:b{b}:c{c}"
+                g.add_task(
+                    tname,
+                    cost.allreduce(elems * DTYPE_BYTES).seconds,
+                    resource="comm", kind="comm", priority=prio, deps=[fwd],
+                )
+                dense_chunks.append(tname)
+        # Host time outside the compute spans: real traces count it as
+        # stall (it is not a recorded ``compute``-kind span), so the
+        # model gives it kind="overhead" — same §5.4 arithmetic.  The
+        # comm lane keeps serving underneath it, as the real comm
+        # thread does.
+        host = None
+        if workload.step_overhead_s > 0:
+            host = f"host:{i}"
+            g.add_task(
+                host, workload.step_overhead_s,
+                resource="compute", kind="overhead", deps=[fwd],
+            )
+            boundary_deps.append(host)
+        sparse_done: list[str] = []
+        refresh_tasks: list[tuple[str, str]] = []
+        if candidate.strategy == "embrace":
+            ids = f"ids:{i}"
+            g.add_task(
+                ids,
+                cost.allgather(sum(t.ids_bytes for t in workload.tables)).seconds,
+                resource="comm", kind="comm",
+                priority=PRIORITY_URGENT, deps=[fwd],
+            )
+            for t in workload.tables:
+                prior_b, delayed_b = t.prior_bytes, t.delayed_bytes
+                if k.delayed_min_rows and 0 < t.delayed_rows < k.delayed_min_rows:
+                    prior_b, delayed_b = prior_b + delayed_b, 0.0
+                prior = f"prior:{i}:{t.name}"
+                g.add_task(
+                    prior, cost.alltoall(prior_b).seconds,
+                    resource="comm", kind="comm",
+                    priority=PRIORITY_PRIOR, deps=[fwd, ids],
+                )
+                delayed = f"delayed:{i}:{t.name}"
+                g.add_task(
+                    delayed, cost.alltoall(delayed_b).seconds,
+                    resource="comm", kind="comm",
+                    priority=PRIORITY_DELAYED, deps=[fwd, ids],
+                )
+                prev_delayed.append(delayed)
+                sparse_done.append(prior)
+                refresh_tasks.append((t.name, prior))
+        elif candidate.strategy == "allgather":
+            for t in workload.tables:
+                sp = f"sparse:{i}:{t.name}"
+                g.add_task(
+                    sp, cost.allgather(t.coalesced_bytes).seconds,
+                    resource="comm", kind="comm",
+                    priority=PRIORITY_URGENT, deps=[fwd],
+                )
+                sparse_done.append(sp)
+        else:  # "allreduce": densified full-table ring reduction
+            for t in workload.tables:
+                sp = f"sparse:{i}:{t.name}"
+                g.add_task(
+                    sp, cost.allreduce(t.dense_bytes).seconds,
+                    resource="comm", kind="comm",
+                    priority=PRIORITY_URGENT, deps=[fwd],
+                )
+                sparse_done.append(sp)
+        opt = f"opt:{i}"
+        g.add_task(
+            opt, workload.optimizer_s, resource="compute", kind="compute",
+            deps=boundary_deps + dense_chunks + sparse_done,
+        )
+        if candidate.strategy == "embrace":
+            for name, prior in refresh_tasks:
+                load = next(t for t in workload.tables if t.name == name)
+                r = f"refresh:{i}:{name}"
+                g.add_task(
+                    r, cost.alltoall(load.lookup_bytes).seconds,
+                    resource="comm", kind="comm",
+                    priority=PRIORITY_URGENT, deps=[opt, prior],
+                )
+                prev_refresh.append(r)
+        # The loss wait closes the step on the training thread.
+        prev_opt = opt
+        prev_refresh = prev_refresh + [loss]
+    trace = execute(g)
+    makespan = trace.makespan
+    stall = trace.computation_stall("compute")
+    return PredictedRun(
+        candidate=candidate,
+        step_time_s=makespan / n_steps,
+        stall_frac=stall / makespan if makespan > 0 else 0.0,
+        makespan_s=makespan,
+        n_steps=n_steps,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Grid + successive halving
+# --------------------------------------------------------------------- #
+def rank_candidates(
+    profile: TunedProfile,
+    workload: MeasuredWorkload,
+    space: SearchSpace | list[Candidate],
+    *,
+    rungs: tuple[int, ...] = (2, 4),
+    keep: float = 0.5,
+    seed: int = 0,
+    map_fn=map,
+) -> list[PredictedRun]:
+    """Rank the grid by predicted stall fraction, then step time.
+
+    Successive halving: all candidates are simulated at ``rungs[0]``
+    chained steps; the best ``keep`` fraction advances to the next rung
+    (higher fidelity), and so on.  The returned list is the final rung's
+    ranking, best first (candidates eliminated early keep their
+    last-rung verdicts, appended after the survivors).  ``seed`` shuffles
+    initial evaluation order only — results are order-independent, so
+    the ranking itself is deterministic.
+    """
+    cands = space.candidates() if isinstance(space, SearchSpace) else list(space)
+    if not cands:
+        raise ValueError("no candidates to rank")
+    order = np.random.default_rng(seed).permutation(len(cands))
+    active = [cands[i] for i in order]
+    eliminated: list[PredictedRun] = []
+    results: list[PredictedRun] = []
+    for r, n_steps in enumerate(rungs):
+        results = list(
+            map_fn(
+                lambda c, n=n_steps: predict_candidate(profile, workload, c, n),
+                active,
+            )
+        )
+        results.sort(key=lambda p: (p.stall_frac, p.step_time_s, p.candidate.label()))
+        if r == len(rungs) - 1:
+            break
+        n_keep = max(1, math.ceil(len(results) * keep))
+        eliminated = results[n_keep:] + eliminated
+        active = [p.candidate for p in results[:n_keep]]
+    return results + eliminated
+
+
+def default_candidate(
+    strategy: str = "embrace", transport: str | None = None
+) -> Candidate:
+    """The pre-tuning configuration (historical constants)."""
+    return Candidate(knobs=SchedKnobs(), strategy=strategy, transport=transport)
+
+
+def with_transport(candidate: Candidate, transport: str | None) -> Candidate:
+    return replace(candidate, transport=transport)

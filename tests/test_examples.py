@@ -61,3 +61,16 @@ class TestExamples:
     def test_translation_embrace(self, args):
         out = run_example("translation_embrace.py", *args)
         assert "bit-identical across strategies: True" in out
+
+    def test_autotune_study(self, tmp_path):
+        out_json = tmp_path / "tuned.json"
+        out = run_example(
+            "autotune_study.py", "--steps", "3", "--vocab", "512",
+            "-o", str(out_json),
+        )
+        assert "fitted alpha-beta links" in out
+        assert "loss curves bit-identical across candidates: True" in out
+        from repro.tune import TunedProfile
+
+        profile = TunedProfile.load(str(out_json))
+        assert profile.knobs is not None

@@ -1,0 +1,410 @@
+"""repro.tune: alpha-beta fitting, knob search, validation plumbing."""
+
+import dataclasses
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.comm import SchedKnobs, open_group
+from repro.engine.run import RunConfig, run
+from repro.engine.trainer_real import RealTrainer
+from repro.models.config import GNMT8
+from repro.tune import (
+    Candidate,
+    LinkFit,
+    ProbeSample,
+    SearchSpace,
+    TunedProfile,
+    calibrate_overhead,
+    default_candidate,
+    fit_alpha_beta,
+    link_fit_from_samples,
+    predict_candidate,
+    probe_link,
+    rank_candidates,
+)
+from repro.tune.search import MeasuredWorkload, TableLoad, _pack_buckets
+
+
+def synthetic_samples(world, beta, bandwidth, sizes, noise=0.0, seed=0):
+    """Exact ring-AllReduce times for known alpha-beta, plus optional noise."""
+    rng = np.random.default_rng(seed)
+    steps = 2 * (world - 1)
+    out = []
+    for s in sizes:
+        t = steps * (s / (world * bandwidth) + beta)
+        out.append(ProbeSample(s, t * (1.0 + noise * rng.standard_normal())))
+    return out
+
+
+SIZES = (16_384, 65_536, 262_144, 1_048_576, 4_194_304)
+
+
+class TestFit:
+    def test_known_alpha_beta_recovered_exactly(self):
+        fit = link_fit_from_samples(
+            "shm", 4, synthetic_samples(4, 40e-6, 2.5e9, SIZES)
+        )
+        assert fit.latency_s == pytest.approx(40e-6, rel=1e-9)
+        assert fit.bandwidth_Bps == pytest.approx(2.5e9, rel=1e-9)
+        assert fit.residual < 1e-9
+
+    @pytest.mark.parametrize("world", [2, 3, 8])
+    def test_recovery_within_5pct_under_noise(self, world):
+        samples = synthetic_samples(
+            world, 25e-6, 1.8e9, SIZES, noise=0.01, seed=3
+        )
+        fit = link_fit_from_samples("shm", world, samples)
+        assert fit.latency_s == pytest.approx(25e-6, rel=0.05)
+        assert fit.bandwidth_Bps == pytest.approx(1.8e9, rel=0.05)
+
+    def test_predict_allreduce_roundtrip(self):
+        fit = link_fit_from_samples(
+            "shm", 4, synthetic_samples(4, 40e-6, 2.5e9, SIZES)
+        )
+        s = 524_288
+        expected = 2 * 3 * (s / (4 * 2.5e9) + 40e-6)
+        assert fit.predict_allreduce_s(s) == pytest.approx(expected, rel=1e-9)
+
+    def test_needs_two_distinct_sizes(self):
+        with pytest.raises(ValueError, match="distinct"):
+            fit_alpha_beta([ProbeSample(4096, 1e-3), ProbeSample(4096, 2e-3)])
+
+    def test_rejects_non_finite_and_non_positive(self):
+        with pytest.raises(ValueError):
+            fit_alpha_beta([ProbeSample(4096, float("nan")),
+                            ProbeSample(65536, 1e-3)])
+        with pytest.raises(ValueError):
+            fit_alpha_beta([ProbeSample(4096, -1e-3),
+                            ProbeSample(65536, 1e-3)])
+
+    def test_rejects_non_positive_slope(self):
+        # Bigger message measured *faster*: no valid bandwidth exists.
+        with pytest.raises(ValueError, match="degenerate"):
+            fit_alpha_beta([ProbeSample(4096, 2e-3), ProbeSample(65536, 1e-3)])
+
+    def test_negative_intercept_clamped(self):
+        a, b = fit_alpha_beta(
+            [ProbeSample(65_536, 1e-4), ProbeSample(1_048_576, 2e-3)]
+        )
+        assert a >= 0 and b > 0
+
+    def test_probe_link_thread_backend(self):
+        fit = probe_link(
+            2, backend="thread", transport=None,
+            sizes_bytes=(4_096, 65_536, 262_144), iters=3,
+        )
+        assert fit.transport == "thread"
+        assert fit.bandwidth_Bps > 0 and fit.latency_s >= 0
+        assert math.isfinite(fit.residual)
+        assert len(fit.samples) == 3
+
+    def test_probe_needs_two_ranks(self):
+        with pytest.raises(ValueError, match="world_size"):
+            probe_link(1, backend="thread")
+
+
+def make_profile(world=4, beta=40e-6, bandwidth=2.5e9, transport="shm", **kw):
+    fit = link_fit_from_samples(
+        transport, world, synthetic_samples(world, beta, bandwidth, SIZES)
+    )
+    return TunedProfile(
+        world_size=world, backend="process", links={transport: fit}, **kw
+    )
+
+
+class TestTunedProfile:
+    def test_json_roundtrip(self):
+        p = make_profile(
+            knobs=SchedKnobs(chunk_elems=1024), strategy="embrace",
+            transport="shm", meta={"host": "ci"},
+        )
+        p2 = TunedProfile.from_json(p.to_json())
+        assert p2 == p
+
+    def test_save_load(self, tmp_path):
+        p = make_profile()
+        path = str(tmp_path / "profile.json")
+        p.save(path)
+        assert TunedProfile.load(path) == p
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ValueError, match="JSON"):
+            TunedProfile.from_json("{not json")
+
+    def test_rejects_wrong_version(self):
+        d = json.loads(make_profile().to_json())
+        d["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            TunedProfile.from_json(json.dumps(d))
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="missing"):
+            TunedProfile.from_json(json.dumps({"version": 1}))
+
+    @pytest.mark.parametrize("field,value", [
+        ("latency_s", float("nan")),
+        ("latency_s", -1e-6),
+        ("bandwidth_Bps", 0.0),
+        ("bandwidth_Bps", float("inf")),
+    ])
+    def test_rejects_bad_link_numbers(self, field, value):
+        d = json.loads(make_profile().to_json())
+        d["links"]["shm"][field] = value
+        with pytest.raises(ValueError):
+            TunedProfile.from_json(json.dumps(d))
+
+    def test_rejects_malformed_knobs(self):
+        d = json.loads(make_profile().to_json())
+        d["knobs"] = {"chunk_elems": -5}
+        with pytest.raises(ValueError):
+            TunedProfile.from_json(json.dumps(d))
+        d["knobs"] = {"no_such_knob": 1}
+        with pytest.raises(ValueError, match="unknown"):
+            TunedProfile.from_json(json.dumps(d))
+
+    def test_needs_a_link(self):
+        with pytest.raises(ValueError, match="link"):
+            TunedProfile(world_size=4, backend="process", links={})
+
+    def test_link_selection(self):
+        p = make_profile(transport="shm")
+        assert p.link().transport == "shm"  # only link: no key needed
+        assert p.link("shm").transport == "shm"
+        with pytest.raises(KeyError):
+            p.link("queue")
+
+    def test_to_cluster_and_cost_model(self):
+        p = make_profile(world=4, beta=40e-6, bandwidth=2.5e9)
+        cluster = p.to_cluster()
+        assert cluster.world_size == 4
+        assert cluster.latency() == pytest.approx(40e-6)
+        cost = p.cost_model()
+        # Calibrated model must invert the fit: pricing an allreduce
+        # with the fitted constants reproduces the probe timing model.
+        s = 1_048_576
+        assert cost.allreduce(s).seconds == pytest.approx(
+            p.link().predict_allreduce_s(s), rel=1e-9
+        )
+
+
+class TestSchedKnobs:
+    def test_defaults_match_historical_constants(self):
+        from repro.comm.sched import DEFAULT_CHUNK_ELEMS, DEFAULT_MAX_CHUNKS
+
+        k = SchedKnobs()
+        assert k.chunk_elems == DEFAULT_CHUNK_ELEMS == 65536
+        assert k.max_chunks == DEFAULT_MAX_CHUNKS == 8
+        assert k.bucket_elems == 65536
+        assert k.delayed_min_rows == 0
+
+    @pytest.mark.parametrize("kw", [
+        {"chunk_elems": 0},
+        {"chunk_elems": -1},
+        {"chunk_elems": 2.5},
+        {"max_chunks": 0},
+        {"bucket_elems": 0},
+        {"delayed_min_rows": -1},
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            SchedKnobs(**kw)
+
+    def test_dict_roundtrip(self):
+        k = SchedKnobs(chunk_elems=1024, delayed_min_rows=7)
+        assert SchedKnobs.from_dict(k.to_dict()) == k
+        with pytest.raises(ValueError, match="unknown"):
+            SchedKnobs.from_dict({"bogus": 1})
+
+    def test_trainer_rejects_bad_knobs_type(self):
+        with pytest.raises(TypeError):
+            RealTrainer(GNMT8.tiny(), knobs="fast please")
+
+
+class TestSearchSpace:
+    def test_grid_is_deterministic_product(self):
+        space = SearchSpace(
+            chunk_elems=(1024, 4096), max_chunks=(2,), bucket_elems=(8192,)
+        )
+        cands = space.candidates()
+        assert [c.knobs.chunk_elems for c in cands] == [1024, 4096]
+        assert cands == space.candidates()
+
+    def test_smoke_grid_small(self):
+        assert len(SearchSpace.smoke().candidates()) <= 4
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SearchSpace(chunk_elems=())
+
+    def test_invalid_knob_value_rejected_at_expansion(self):
+        with pytest.raises(ValueError):
+            SearchSpace(chunk_elems=(0,)).candidates()
+
+
+def make_workload(world=4):
+    return MeasuredWorkload(
+        world_size=world,
+        fwd_bwd_s=5e-3,
+        optimizer_s=1e-3,
+        dense_param_sizes=((0.0, 40_000), (1.0, 120_000), (2.0, 50_000)),
+        tables=(
+            TableLoad(
+                name="embedding", prior_bytes=80_000.0, delayed_bytes=40_000.0,
+                coalesced_bytes=120_000.0, dense_bytes=4_000_000.0,
+                delayed_rows=100.0, ids_bytes=2_400.0, lookup_bytes=150_000.0,
+            ),
+        ),
+        measured_step_s=9e-3,
+        measured_stall_frac=0.5,
+    )
+
+
+class TestSearch:
+    def test_pack_buckets_mirrors_trainer(self):
+        sizes = [(0.0, 10), (1.0, 20), (2.0, 30)]
+        trainer_style = [
+            (prio, total)
+            for prio, _members, total, _dt in RealTrainer._dense_buckets(
+                [(p, _FakeParam(n)) for p, n in sizes], 32
+            )
+        ]
+        assert _pack_buckets(sizes, 32) == trainer_style
+
+    @pytest.mark.parametrize("strategy", ["embrace", "allgather", "allreduce"])
+    def test_predict_candidate_sane(self, strategy):
+        pred = predict_candidate(
+            make_profile(), make_workload(),
+            Candidate(strategy=strategy), n_steps=3,
+        )
+        assert pred.step_time_s > 0
+        assert 0.0 <= pred.stall_frac < 1.0
+        assert pred.makespan_s == pytest.approx(pred.step_time_s * 3)
+
+    def test_more_steps_amortize_warmup(self):
+        p, w = make_profile(), make_workload()
+        short = predict_candidate(p, w, default_candidate(), n_steps=2)
+        long = predict_candidate(p, w, default_candidate(), n_steps=6)
+        assert long.step_time_s <= short.step_time_s * 1.05
+
+    def test_delayed_fold_changes_prediction(self):
+        p, w = make_profile(), make_workload()
+        base = predict_candidate(p, w, default_candidate(), n_steps=3)
+        folded = predict_candidate(
+            p, w, Candidate(knobs=SchedKnobs(delayed_min_rows=1_000)), n_steps=3
+        )
+        assert folded.step_time_s != pytest.approx(base.step_time_s, rel=1e-6)
+
+    def test_rank_candidates_deterministic_and_complete(self):
+        p, w = make_profile(), make_workload()
+        space = SearchSpace(
+            chunk_elems=(4_096, 65_536), max_chunks=(2, 8),
+            bucket_elems=(65_536,),
+        )
+        r1 = rank_candidates(p, w, space, rungs=(2, 3), seed=0)
+        r2 = rank_candidates(p, w, space, rungs=(2, 3), seed=123)
+        assert len(r1) == len(space.candidates())
+        assert [x.candidate for x in r1] == [x.candidate for x in r2]
+        assert all(
+            r1[i].stall_frac <= r1[i + 1].stall_frac
+            or r1[i].n_steps != r1[i + 1].n_steps
+            for i in range(len(r1) - 2)
+        )
+
+    def test_calibrate_overhead_clamps_and_fills(self):
+        p, w = make_profile(), make_workload()
+        cal = calibrate_overhead(p, w, n_steps=3)
+        assert cal.step_overhead_s >= 0.0
+        slow = dataclasses.replace(w, measured_step_s=1.0)
+        assert calibrate_overhead(p, slow, n_steps=3).step_overhead_s > 0.9
+
+
+class _FakeParam:
+    def __init__(self, n):
+        self.data = np.zeros(n, dtype=np.float32)
+
+
+class TestKnobPlumbing:
+    def test_open_group_takes_transport_from_profile(self):
+        profile = make_profile(transport="queue")
+        object.__setattr__  # frozen dataclass: build via with_choice
+        profile = profile.with_choice(SchedKnobs(), transport="queue")
+        with open_group(2, backend="thread", profile=profile) as g:
+            assert g.transport == "queue"
+        with open_group(2, backend="thread", transport="shm",
+                        profile=profile) as g:
+            assert g.transport == "shm"  # explicit wins
+        with open_group(2, backend="thread") as g:
+            assert g.transport == "shm"  # default unchanged
+
+    def test_trainer_knob_resolution_order(self):
+        cfg = GNMT8.tiny()
+        profile = make_profile().with_choice(SchedKnobs(chunk_elems=2048))
+        t = RealTrainer(cfg, profile=profile)
+        assert t.knobs.chunk_elems == 2048
+        t = RealTrainer(cfg, profile=profile, knobs=SchedKnobs(chunk_elems=512))
+        assert t.knobs.chunk_elems == 512  # explicit wins
+        t = RealTrainer(cfg, knobs={"chunk_elems": 4096})
+        assert t.knobs == SchedKnobs(chunk_elems=4096)  # dict form
+        assert RealTrainer(cfg).knobs == SchedKnobs()
+
+    def test_runconfig_carries_knobs(self):
+        cfg = RunConfig(model=GNMT8.tiny(), mode="real",
+                        knobs=SchedKnobs(chunk_elems=128))
+        assert cfg.knobs.chunk_elems == 128
+        assert cfg.transport is None  # resolved later (profile-aware)
+
+
+class TestKnobBitIdentity:
+    def test_losses_identical_across_knobs(self):
+        """Knobs move bytes between buckets/chunks and fold tiny delayed
+        parts forward — never the arithmetic.  Any knob setting must
+        train bit-identically to the defaults at a fixed seed."""
+        cfg = GNMT8.tiny()
+
+        def train(knobs):
+            return RealTrainer(
+                cfg, strategy="embrace", world_size=2, steps=3, seed=5,
+                knobs=knobs,
+            ).train()
+
+        base = train(None)
+        weird = train(SchedKnobs(
+            chunk_elems=1_024, max_chunks=3, bucket_elems=8_192,
+            delayed_min_rows=10_000,  # folds every delayed part forward
+        ))
+        assert weird.losses == base.losses
+        for key in base.state:
+            np.testing.assert_array_equal(weird.state[key], base.state[key])
+
+
+@pytest.mark.slow
+class TestPipeline:
+    def test_autotune_thread_smoke(self):
+        from repro.tune import autotune
+
+        report = autotune(
+            GNMT8.tiny(), world_size=2, backend="thread", transport=None,
+            steps=3, seed=3, space=SearchSpace.smoke(),
+            probe_sizes=(4_096, 65_536, 262_144), probe_iters=3,
+            rungs=(2,), top_k=1,
+        )
+        assert report.losses_identical
+        assert report.winner.measured_stall_frac <= (
+            report.default.measured_stall_frac + 1e-12
+        )
+        assert report.validated[0].candidate == default_candidate()
+        # The emitted profile is a working input for every consumer.
+        tuned = TunedProfile.from_json(report.tuned_profile.to_json())
+        RealTrainer(GNMT8.tiny(), profile=tuned)
+        tuned.cost_model()
+
+    def test_cli_tune_smoke(self, capsys):
+        from repro.cli import main
+
+        assert main(["tune", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "fitted alpha-beta links" in out
+        assert "winner" in out
