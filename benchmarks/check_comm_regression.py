@@ -18,6 +18,7 @@ required transport baseline):
 * ``BENCH_comm.json``  — :mod:`benchmarks.bench_comm_transport`
 * ``BENCH_sched.json`` — :mod:`benchmarks.bench_sched`
 * ``BENCH_tune.json``  — :mod:`benchmarks.bench_tune`
+* ``BENCH_serve.json`` — :mod:`benchmarks.bench_serve`
 
 Run:  python benchmarks/check_comm_regression.py [--baseline BENCH_comm.json]
 """
@@ -33,6 +34,7 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 DEFAULT_BASELINE = os.path.join(HERE, os.pardir, "BENCH_comm.json")
 DEFAULT_SCHED_BASELINE = os.path.join(HERE, os.pardir, "BENCH_sched.json")
 DEFAULT_TUNE_BASELINE = os.path.join(HERE, os.pardir, "BENCH_tune.json")
+DEFAULT_SERVE_BASELINE = os.path.join(HERE, os.pardir, "BENCH_serve.json")
 
 
 def load_baseline(path: str) -> dict | None:
@@ -151,11 +153,37 @@ def check_tune(baseline_path: str, tolerance: float) -> list[str]:
     return gate(baseline, tolerance, measure_fn, render, absolute_checks)
 
 
+def check_serve(baseline_path: str, tolerance: float) -> list[str]:
+    """Gate the serving baseline: QPS-scaling and tail-latency ratio
+    floors, plus bench_serve's absolute criteria (online training
+    bit-identical to the offline replay, zero torn batches)."""
+    baseline = load_baseline(baseline_path)
+    if baseline is None:
+        return []
+
+    from bench_serve import absolute_checks, measure, render
+
+    def measure_fn(meta):
+        return measure(
+            world=meta["world"],
+            client_levels=tuple(meta["client_levels"]),
+            requests_per_client=meta["requests_per_client"],
+            train_steps=meta["train_steps"],
+            trials=meta["trials"],
+            vocab=meta["config"]["vocab"],
+            dim=meta["config"]["dim"],
+            backend=meta["backend"],
+        )
+
+    return gate(baseline, tolerance, measure_fn, render, absolute_checks)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
     parser.add_argument("--sched-baseline", default=DEFAULT_SCHED_BASELINE)
     parser.add_argument("--tune-baseline", default=DEFAULT_TUNE_BASELINE)
+    parser.add_argument("--serve-baseline", default=DEFAULT_SERVE_BASELINE)
     parser.add_argument(
         "--skip-sched", action="store_true",
         help="skip the scheduler-stall gate",
@@ -163,6 +191,10 @@ def main() -> int:
     parser.add_argument(
         "--skip-tune", action="store_true",
         help="skip the auto-tuning gate",
+    )
+    parser.add_argument(
+        "--skip-serve", action="store_true",
+        help="skip the serving latency/QPS gate",
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.30,
@@ -190,6 +222,9 @@ def main() -> int:
     if not args.skip_tune:
         print()
         failures += check_tune(args.tune_baseline, args.tolerance)
+    if not args.skip_serve:
+        print()
+        failures += check_serve(args.serve_baseline, args.tolerance)
     if failures:
         print("\nFAIL:", *failures, sep="\n  ")
         return 1

@@ -8,6 +8,7 @@ Subcommands
 ``faults``      fault-injection degradation curves / crash-recovery demo
 ``trace``       export a simulated step timeline as a Chrome trace
 ``tune``        probe this host, fit alpha-beta, auto-tune the schedule
+``serve``       serve sharded-embedding lookups during online training
 ``sizes``       print Table 1 (model/embedding sizes)
 """
 
@@ -230,6 +231,59 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.serve import ServeConfig, ShardedEmbeddingService, offline_reference
+
+    if args.smoke:
+        # CI pipeline exercise: thread backend, two ranks, a short Zipfian
+        # burst over one online-training window — admission, versioned
+        # reads, commit overlap and the offline bit-identity check all
+        # run in a couple of seconds.
+        cfg = ServeConfig(
+            world_size=2,
+            backend="thread",
+            clients=2,
+            requests_per_client=20,
+            train_steps=8,
+            seed=args.seed,
+        )
+    else:
+        cfg = ServeConfig(
+            world_size=args.world,
+            backend=args.backend,
+            transport=None if args.backend == "thread" else args.transport,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            ids_per_request=args.ids_per_request,
+            zipf_exponent=args.zipf_exponent,
+            max_batch=args.max_batch,
+            max_delay_s=args.max_delay_ms / 1e3,
+            train_steps=args.steps,
+            train_batch=args.train_batch,
+            seed=args.seed,
+            trace=args.trace,
+        )
+    with ShardedEmbeddingService(cfg) as service:
+        report = service.run()
+    print(report.summary())
+    offline_losses, offline_final, _ = offline_reference(cfg)
+    identical = offline_losses == report.losses and all(
+        np.array_equal(offline_final[name], report.final_tables[name])
+        for name in cfg.tables
+    )
+    print(f"online == offline (bit-identical): {identical}")
+    if report.trace is not None:
+        serve_busy = report.trace.busy_time("serve", 0)
+        print(f"serve lane busy (rank 0): {serve_busy * 1e3:.2f} ms")
+    if not identical or report.torn_batches:
+        print("ERROR: serving perturbed training or tore a read",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_sizes(args: argparse.Namespace) -> int:
     from repro.models.sizing import sizing_table
 
@@ -313,6 +367,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="CI pipeline check: thread backend, tiny probes, "
                         "<= 4 candidates")
     p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve sharded-embedding lookups concurrently with online "
+             "training (repro.serve)",
+    )
+    p.add_argument("--world", type=int, default=2)
+    p.add_argument("--backend", default="thread", choices=("thread", "process"))
+    p.add_argument("--transport", default="shm", choices=("shm", "queue"))
+    p.add_argument("--clients", type=int, default=4,
+                   help="closed-loop lookup clients")
+    p.add_argument("--requests", type=int, default=100,
+                   help="requests per client")
+    p.add_argument("--ids-per-request", type=int, default=16)
+    p.add_argument("--zipf-exponent", type=float, default=1.1)
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="admission: release a batch at this size")
+    p.add_argument("--max-delay-ms", type=float, default=2.0,
+                   help="admission: or when its oldest request is this old")
+    p.add_argument("--steps", type=int, default=20,
+                   help="online training steps")
+    p.add_argument("--train-batch", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", action="store_true",
+                   help="record spans (serve lane vs train lanes)")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI pipeline check: thread backend, tiny run")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("sizes", help="print Table 1")
     p.set_defaults(func=_cmd_sizes)

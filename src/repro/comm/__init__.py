@@ -29,6 +29,7 @@ from repro.comm.group import BACKENDS, CommGroup, open_group
 from repro.comm.local import ThreadGroup, run_threaded
 from repro.comm.process import TRANSPORTS, ProcessGroup, run_multiprocess
 from repro.comm.sched import (
+    PRIORITY_SERVE,
     PRIORITY_URGENT,
     CommHandle,
     CommScheduler,
@@ -64,6 +65,7 @@ __all__ = [
     "SchedComm",
     "SchedKnobs",
     "SchedulerClosed",
+    "PRIORITY_SERVE",
     "PRIORITY_URGENT",
     "dense_chunk_bounds",
     "allgather_sparse",

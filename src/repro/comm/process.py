@@ -480,7 +480,16 @@ class ProcessGroup:
         return self
 
     def close(self) -> None:
-        """Stop the workers and release every link resource."""
+        """Stop the workers and release every link resource.
+
+        After an interrupted or failed run (``_last_run_failed``) the
+        workers may still be executing the abandoned dispatch and will
+        not read the stop command until it finishes — possibly never,
+        for a long-lived serve loop.  Waiting the full transport timeout
+        per worker would make Ctrl-C teardown take minutes, so a failed
+        group gets a short grace before the workers are terminated;
+        either way the shm segments are swept afterwards.
+        """
         if self._procs is None:
             return
         for q in self._res.cmd_queues:
@@ -488,9 +497,10 @@ class ProcessGroup:
                 q.put(("stop",))
             except Exception:  # pragma: no cover - queue already torn down
                 pass
+        grace = 1.0 if self._last_run_failed else self.timeout
         for p in self._procs:
-            p.join(timeout=self.timeout)
-            if p.is_alive():  # pragma: no cover - defensive cleanup
+            p.join(timeout=grace)
+            if p.is_alive():
                 p.terminate()
                 p.join(timeout=1.0)
         self._procs = None
@@ -578,6 +588,27 @@ class ProcessGroup:
         # Workers abort within `timeout` of a peer failure; 2.5x leaves
         # room for result marshalling (300s at the 120s default).
         deadline = time.monotonic() + 2.5 * self.timeout
+        try:
+            self._collect_loop(epoch, procs, rq, results, failures, reported, deadline)
+        except KeyboardInterrupt:
+            # Ctrl-C on the launcher: the workers are still mid-dispatch.
+            # Mark the run failed so close() (a) resets the barrier if the
+            # pool is reused and (b) terminates busy workers after a short
+            # grace instead of the full transport timeout, then sweeps the
+            # shm segments — an interrupted serve loop must not leak them.
+            self._last_run_failed = True
+            raise
+        self._last_run_failed = bool(failures)
+        if failures:
+            # Arrival order: the first reporter is the origin — later
+            # failures are usually its victims timing out.
+            rank, err = failures[0]
+            raise RuntimeError(f"rank {rank} failed: {err}")
+        return results
+
+    def _collect_loop(
+        self, epoch, procs, rq, results, failures, reported, deadline
+    ) -> None:
         while len(reported) < self.world_size:
             remaining = max(0.01, deadline - time.monotonic())
             try:
@@ -608,13 +639,6 @@ class ProcessGroup:
                 results[rank] = payload
             else:
                 failures.append((rank, payload))
-        self._last_run_failed = bool(failures)
-        if failures:
-            # Arrival order: the first reporter is the origin — later
-            # failures are usually its victims timing out.
-            rank, err = failures[0]
-            raise RuntimeError(f"rank {rank} failed: {err}")
-        return results
 
     # -- shared-memory hygiene ------------------------------------------ #
     def _sweep_segments(self) -> None:

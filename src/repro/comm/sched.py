@@ -75,6 +75,12 @@ _STOP = 1
 #: compute, so they outrank everything, including ``PRIORITY_PRIOR``.
 PRIORITY_URGENT = -100.0
 
+#: Priority of the serve lane (:mod:`repro.serve` lookup traffic riding
+#: the engine's channel multiplexing): latency-sensitive, so it preempts
+#: every training transfer — prior sparse exchanges included — but never
+#: a facade collective the training thread is already blocked on.
+PRIORITY_SERVE = -50.0
+
 #: Elements per dense-AllReduce chunk: small enough that a pending prior
 #: sparse exchange preempts within a fraction of a large tensor, large
 #: enough that per-item overhead stays negligible.

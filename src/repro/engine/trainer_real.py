@@ -879,6 +879,7 @@ class RealTrainer:
         for name, table in tables.items():
             grad = table.weight.grad
             current_ids = self._table_ids(model, name, batch)
+            sched.comm.obs.count_rows(name, current_ids)
             global_next = (
                 np.concatenate(gathered_next[name])
                 if gathered_next is not None

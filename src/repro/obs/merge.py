@@ -54,6 +54,9 @@ class TraceBundle:
     trace: Trace
     counters: dict[int, dict[str, float]] = field(default_factory=dict)
     dropped: dict[int, int] = field(default_factory=dict)
+    #: Per-rank hot-row summaries keyed ``rank -> table -> {ids, counts,
+    #: total, rows_seen}`` (each rank ships only its top-k rows).
+    row_counts: dict[int, dict[str, dict]] = field(default_factory=dict)
 
     @property
     def ranks(self) -> list[int]:
@@ -66,6 +69,37 @@ class TraceBundle:
             for name, value in per_rank.items():
                 out[name] = out.get(name, 0.0) + value
         return out
+
+    def row_tables(self) -> list[str]:
+        """Tables with recorded row-access counts, sorted by name."""
+        return sorted({t for per in self.row_counts.values() for t in per})
+
+    def hot_rows(self, table: str, k: int = 10) -> list[tuple[int, int]]:
+        """Top-``k`` hottest rows of ``table`` summed across ranks.
+
+        Each rank ships only its own top-``row_topk`` rows, so counts
+        for rows outside *every* rank's local top-k are missing — with
+        Zipfian traffic the head rows are in every rank's summary, which
+        is exactly the set hot/cold placement needs.  ``(row, count)``
+        pairs, most accessed first.
+        """
+        merged: dict[int, int] = {}
+        for per_rank in self.row_counts.values():
+            summary = per_rank.get(table)
+            if summary is None:
+                continue
+            for row, count in zip(summary["ids"], summary["counts"]):
+                merged[int(row)] = merged.get(int(row), 0) + int(count)
+        ranked = sorted(merged.items(), key=lambda rc: (-rc[1], rc[0]))
+        return ranked[:k]
+
+    def row_access_total(self, table: str) -> int:
+        """Total row accesses of ``table`` across ranks (exact: totals
+        are accumulated rank-locally, not reconstructed from the top-k)."""
+        return sum(
+            int(per.get(table, {}).get("total", 0))
+            for per in self.row_counts.values()
+        )
 
     def computation_stall(self, rank: int = 0) -> float:
         """§5.4 stall for one rank — the simulator's exact code path."""
@@ -83,12 +117,16 @@ def merge_payloads(payloads: list[dict]) -> TraceBundle:
     entries: list[TraceEntry] = []
     counters: dict[int, dict[str, float]] = {}
     dropped: dict[int, int] = {}
+    row_counts: dict[int, dict[str, dict]] = {}
     for payload in payloads:
         rank = int(payload["rank"])
         entries.extend(entries_from_payload(payload))
         counters[rank] = dict(payload.get("counters", {}))
         dropped[rank] = int(payload.get("dropped", 0))
-    return TraceBundle(Trace(entries), counters=counters, dropped=dropped)
+        row_counts[rank] = dict(payload.get("row_counts", {}))
+    return TraceBundle(
+        Trace(entries), counters=counters, dropped=dropped, row_counts=row_counts
+    )
 
 
 def install_recorder(comm, recorder) -> None:

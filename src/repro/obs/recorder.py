@@ -47,6 +47,11 @@ from repro.utils.validation import check_positive
 #: Default ring capacity: ~1.5 MB of span storage, a few thousand steps.
 DEFAULT_CAPACITY = 65536
 
+#: Rows per table shipped in the payload's hot-row summary.  Full
+#: per-row counts stay rank-local (they are O(vocab)); only the top-k
+#: travel, which bounds the merge cost at production vocabularies.
+DEFAULT_ROW_TOPK = 32
+
 
 class NullRecorder:
     """Disabled recorder: every operation is a no-op.
@@ -80,6 +85,9 @@ class NullRecorder:
     def count_bytes(self, obj) -> None:
         pass
 
+    def count_rows(self, table: str, ids) -> None:
+        pass
+
     @contextmanager
     def span(self, name: str, resource: str = "compute", kind: str = "compute"):
         yield
@@ -100,9 +108,11 @@ class TraceConfig:
 
     capacity: int = DEFAULT_CAPACITY
     phases: bool = True
+    row_topk: int = DEFAULT_ROW_TOPK
 
     def __post_init__(self) -> None:
         check_positive("capacity", self.capacity)
+        check_positive("row_topk", self.row_topk)
 
 
 def as_trace_config(trace) -> TraceConfig | None:
@@ -131,11 +141,14 @@ class SpanRecorder:
         capacity: int = DEFAULT_CAPACITY,
         clock=time.perf_counter,
         phases: bool = True,
+        row_topk: int = DEFAULT_ROW_TOPK,
     ):
         check_positive("capacity", capacity)
+        check_positive("row_topk", row_topk)
         self.rank = rank
         self.capacity = capacity
         self.phases = phases
+        self.row_topk = row_topk
         self._clock = clock
         self._start = np.empty(capacity, dtype=np.float64)
         self._end = np.empty(capacity, dtype=np.float64)
@@ -144,6 +157,12 @@ class SpanRecorder:
         self._key_ids: dict[tuple[str, str, str], int] = {}
         self._key_names: list[tuple[str, str, str]] = []
         self.counters: dict[str, float] = {}
+        # Per-table row-access frequency: one grow-on-demand int64 array
+        # per table, indexed by row id.  Fed by both lookup and training
+        # id streams (repro.serve / RealTrainer); the payload ships only
+        # the top-``row_topk`` rows.  This is the learning signal for
+        # skew-aware hot/cold placement (ROADMAP item 2).
+        self._row_counts: dict[str, np.ndarray] = {}
         # The comm scheduler records collective spans from its comm
         # thread while the training thread records compute spans: ring
         # writes take a lock (spans are per-collective, not per-byte, so
@@ -155,7 +174,12 @@ class SpanRecorder:
 
     @classmethod
     def from_config(cls, rank: int, config: TraceConfig) -> "SpanRecorder":
-        return cls(rank=rank, capacity=config.capacity, phases=config.phases)
+        return cls(
+            rank=rank,
+            capacity=config.capacity,
+            phases=config.phases,
+            row_topk=config.row_topk,
+        )
 
     # -- hot path --------------------------------------------------------- #
     def t(self) -> float:
@@ -204,6 +228,43 @@ class SpanRecorder:
     def count(self, name: str, value: float = 1.0) -> None:
         with self._lock:
             self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def count_rows(self, table: str, ids) -> None:
+        """Accumulate per-row access counts for ``table``.
+
+        ``ids`` is any integer array-like of row ids; duplicates count
+        once per occurrence (access *frequency*, not distinct-row
+        coverage).  Cost is O(len(ids)) — one ``np.add.at`` into a
+        preallocated per-table array that doubles when a larger id
+        appears.
+        """
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        if ids.size == 0:
+            return
+        need = int(ids.max()) + 1
+        with self._lock:
+            arr = self._row_counts.get(table)
+            if arr is None:
+                arr = np.zeros(need, dtype=np.int64)
+                self._row_counts[table] = arr
+            elif need > arr.size:
+                grown = np.zeros(max(need, 2 * arr.size), dtype=np.int64)
+                grown[: arr.size] = arr
+                self._row_counts[table] = arr = grown
+            np.add.at(arr, ids, 1)
+
+    def hot_rows(self, table: str, k: int | None = None) -> list[tuple[int, int]]:
+        """Top-``k`` most-accessed rows of ``table`` as ``(row, count)``,
+        most frequent first (ties broken by lower row id)."""
+        k = self.row_topk if k is None else k
+        with self._lock:
+            arr = self._row_counts.get(table)
+            counts = None if arr is None else arr.copy()
+        if counts is None:
+            return []
+        nonzero = np.flatnonzero(counts)
+        order = nonzero[np.lexsort((nonzero, -counts[nonzero]))][:k]
+        return [(int(r), int(counts[r])) for r in order]
 
     def count_bytes(self, obj) -> None:
         """Accumulate ``wire_bytes.<dtype>`` counters for a payload."""
@@ -272,6 +333,21 @@ class SpanRecorder:
             start = self._start[:n].copy()
             end = self._end[:n].copy()
             key = self._key[:n].copy()
+        row_counts = {}
+        with self._lock:
+            tables = list(self._row_counts)
+        for table in tables:
+            top = self.hot_rows(table)
+            with self._lock:
+                arr = self._row_counts[table]
+                total = int(arr.sum())
+                rows_seen = int(np.count_nonzero(arr))
+            row_counts[table] = {
+                "ids": np.asarray([r for r, _ in top], dtype=np.int64),
+                "counts": np.asarray([c for _, c in top], dtype=np.int64),
+                "total": total,
+                "rows_seen": rows_seen,
+            }
         return {
             "rank": self.rank,
             "start": np.ascontiguousarray(start - self._t0),
@@ -279,5 +355,6 @@ class SpanRecorder:
             "key": np.ascontiguousarray(key),
             "names": list(self._key_names),
             "counters": dict(self.counters),
+            "row_counts": row_counts,
             "dropped": self.dropped,
         }

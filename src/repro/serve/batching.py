@@ -1,0 +1,117 @@
+"""Admission control: coalesce lookup requests into per-table batches.
+
+The classic serving trade-off, made explicit: a batch is released when
+it reaches ``max_batch`` requests (amortizing the cross-rank shard
+AllGather over more rows) *or* when its oldest request has waited
+``max_delay_s`` (bounding the latency cost of waiting for company).
+Batches never mix tables — each maps to exactly one sharded lookup.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.serve.requests import LookupRequest
+from repro.utils.validation import check_positive
+
+
+class AdmissionQueue:
+    """Thread-safe front door coalescing requests per table.
+
+    ``submit`` is called by client threads; ``next_batch`` by the
+    single rank-0 driver.  After :meth:`close`, new submissions are
+    cancelled immediately and every already-queued request is
+    considered ripe — the shutdown drain serves whatever is inside
+    without waiting out the delay budget.
+    """
+
+    def __init__(self, max_batch: int, max_delay_s: float):
+        check_positive("max_batch", max_batch)
+        check_positive("max_delay_s", max_delay_s)
+        self.max_batch = int(max_batch)
+        self.max_delay_s = float(max_delay_s)
+        self._cond = threading.Condition()
+        self._queues: dict[str, deque[LookupRequest]] = {}
+        self._closed = False
+
+    # -- client side ----------------------------------------------------- #
+    def submit(self, req: LookupRequest) -> bool:
+        """Enqueue ``req``; returns False (and cancels it) if closed."""
+        with self._cond:
+            if self._closed:
+                req.cancel()
+                return False
+            self._queues.setdefault(req.table, deque()).append(req)
+            self._cond.notify_all()
+            return True
+
+    # -- driver side ------------------------------------------------------ #
+    def next_batch(
+        self, timeout: float = 0.0
+    ) -> tuple[str, list[LookupRequest]] | None:
+        """Pop one ripe per-table batch, waiting up to ``timeout``.
+
+        ``timeout=0`` polls: the driver interleaves admission checks
+        with training work and must never block while a step could run.
+        A positive timeout waits no longer than needed — the wait is
+        clipped to the earliest pending request's delay deadline.
+        """
+        deadline = time.perf_counter() + timeout
+        with self._cond:
+            while True:
+                now = time.perf_counter()
+                table = self._ripe_table(now)
+                if table is not None:
+                    q = self._queues[table]
+                    n = min(self.max_batch, len(q))
+                    return table, [q.popleft() for _ in range(n)]
+                remaining = deadline - now
+                if remaining <= 0:
+                    return None
+                ripe_at = self._earliest_ripe()
+                if ripe_at is not None:
+                    remaining = min(remaining, max(ripe_at - now, 0.0) + 1e-4)
+                self._cond.wait(remaining)
+
+    def _ripe_table(self, now: float) -> str | None:
+        for table, q in self._queues.items():
+            if not q:
+                continue
+            if (
+                self._closed
+                or len(q) >= self.max_batch
+                or now - q[0].t_arrival >= self.max_delay_s
+            ):
+                return table
+        return None
+
+    def _earliest_ripe(self) -> float | None:
+        heads = [q[0].t_arrival for q in self._queues.values() if q]
+        return min(heads) + self.max_delay_s if heads else None
+
+    # -- shutdown --------------------------------------------------------- #
+    def close(self) -> None:
+        """Refuse new submissions; queued requests become ripe at once."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def cancel_pending(self) -> int:
+        """Cancel (and count) every request still queued."""
+        with self._cond:
+            n = 0
+            for q in self._queues.values():
+                while q:
+                    q.popleft().cancel()
+                    n += 1
+            return n
+
+    def __len__(self) -> int:
+        with self._cond:
+            return sum(len(q) for q in self._queues.values())

@@ -1,0 +1,162 @@
+"""Lookup requests, the seeded Zipfian load generator, and clients.
+
+The request generator reuses :class:`~repro.data.zipf.ZipfSampler` — the
+same law that shapes training batches shapes inference traffic, which is
+what concentrates lookups on the head rows (and is why the hot-row
+counters in :mod:`repro.obs` see the two id streams agree).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.data.zipf import ZipfSampler
+from repro.utils.validation import check_positive
+
+
+class LookupRequest:
+    """One client request: a batch of row ids against one table.
+
+    The submitting client blocks in :meth:`wait`; the service completes
+    the request with full-dimension row ``values`` and the table
+    ``version`` they were read at (one committed optimizer step — the
+    snapshot-consistency contract), or :meth:`cancel`\\ s it during
+    shutdown.
+    """
+
+    __slots__ = (
+        "table",
+        "ids",
+        "t_arrival",
+        "t_done",
+        "values",
+        "version",
+        "cancelled",
+        "_event",
+    )
+
+    def __init__(self, table: str, ids: np.ndarray):
+        self.table = table
+        self.ids = np.asarray(ids, dtype=np.int64).ravel()
+        self.t_arrival = time.perf_counter()
+        self.t_done: float | None = None
+        self.values: np.ndarray | None = None
+        self.version: int | None = None
+        self.cancelled = False
+        self._event = threading.Event()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> np.ndarray | None:
+        """Block until served (or cancelled); returns the row values."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"lookup on {self.table!r} not served in {timeout}s")
+        return self.values
+
+    def complete(self, values: np.ndarray, version: int) -> None:
+        self.values = values
+        self.version = version
+        self.t_done = time.perf_counter()
+        self._event.set()
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self.t_done = time.perf_counter()
+        self._event.set()
+
+    @property
+    def latency_s(self) -> float:
+        """Arrival-to-completion latency (queueing + sequencing + read)."""
+        if self.t_done is None:
+            raise RuntimeError("request not completed yet")
+        return self.t_done - self.t_arrival
+
+
+class ZipfRequestLoad:
+    """Deterministic Zipfian request stream, seeded per client.
+
+    Client ``c``'s id sequence comes from ``default_rng((seed, 1000 + c))``
+    — disjoint from every training stream (which salt with the rank and
+    a different constant) and reproducible across runs, so latency
+    benchmarks replay the exact same traffic.  Requests round-robin over
+    ``tables`` with a per-client phase offset.
+    """
+
+    def __init__(
+        self,
+        vocab: int,
+        tables: tuple[str, ...],
+        ids_per_request: int,
+        exponent: float = 1.1,
+        seed: int = 0,
+    ):
+        check_positive("ids_per_request", ids_per_request)
+        if not tables:
+            raise ValueError("tables must be non-empty")
+        self.sampler = ZipfSampler(vocab, exponent)
+        self.tables = tuple(tables)
+        self.ids_per_request = int(ids_per_request)
+        self.seed = int(seed)
+
+    def client_rng(self, client_id: int) -> np.random.Generator:
+        return np.random.default_rng((self.seed, 1000 + client_id))
+
+    def make_request(
+        self, rng: np.random.Generator, client_id: int, index: int
+    ) -> LookupRequest:
+        table = self.tables[(client_id + index) % len(self.tables)]
+        return LookupRequest(table, self.sampler.sample(rng, self.ids_per_request))
+
+
+class ClosedLoopClient(threading.Thread):
+    """A closed-loop client: submit one request, wait, repeat.
+
+    Closed-loop load is self-pacing — offered QPS rises exactly as the
+    service gets faster — which makes the benchmark's concurrency knob
+    the number of clients, not an offered rate that could over- or
+    under-run the service.  Stops early when ``stop_event`` is set or a
+    request comes back cancelled (service shutting down).
+    """
+
+    #: Backstop so a wedged service fails a test instead of hanging it.
+    WAIT_TIMEOUT = 120.0
+
+    def __init__(
+        self,
+        client_id: int,
+        load: ZipfRequestLoad,
+        queue,
+        n_requests: int,
+        stop_event: threading.Event,
+    ):
+        super().__init__(name=f"serve-client-{client_id}", daemon=True)
+        self.client_id = client_id
+        self.load = load
+        self.queue = queue
+        self.n_requests = int(n_requests)
+        self.stop_event = stop_event
+        self.completed: list[LookupRequest] = []
+        self.cancelled = 0
+        self.error: BaseException | None = None
+
+    def run(self) -> None:
+        try:
+            rng = self.load.client_rng(self.client_id)
+            for i in range(self.n_requests):
+                if self.stop_event.is_set():
+                    break
+                req = self.load.make_request(rng, self.client_id, i)
+                if not self.queue.submit(req):
+                    self.cancelled += 1
+                    break
+                req.wait(self.WAIT_TIMEOUT)
+                if req.cancelled:
+                    self.cancelled += 1
+                    break
+                self.completed.append(req)
+        except BaseException as exc:  # noqa: BLE001 - surfaced by the driver
+            self.error = exc

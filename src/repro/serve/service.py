@@ -1,0 +1,455 @@
+"""The sharded embedding service: concurrent serving + online training.
+
+**The sequencing problem.**  The async comm engine's correctness rests
+on an SPMD invariant: every rank must submit the same sequence of work
+items.  A serve front end is inherently rank-asymmetric — requests
+arrive at one place, at unpredictable times — so two free-running
+threads per rank would desynchronize item ids and deadlock the token
+protocol.  The service therefore runs as a *replicated state machine*:
+rank 0's driver owns the admission queue and decides each operation
+(``serve`` a batch, start a ``train`` step, ``commit`` it, ``stop``),
+broadcasts the decision on a :data:`~repro.comm.PRIORITY_SERVE` control
+facade, and every rank executes the same op script.  Each op expands to
+a deterministic collective sequence, so the invariant holds with zero
+cross-rank locks.
+
+**Where the overlap comes from.**  A train step is split: the ``train``
+op refreshes rows, runs the forward/backward, and *submits* the sparse
+gradient exchange and loss AllGather at training priority without
+waiting on them; the ``commit`` op later waits and applies.  Serve ops
+sequenced in between run at :data:`~repro.comm.PRIORITY_SERVE`,
+preempting the queued exchange inside the engine — lookups cut ahead of
+gradient traffic exactly as EmbRace's priority scheduling intends.
+
+**Bit-identity.**  Serve ops only read; the commit always waits on the
+exchange before applying; losses are summed in rank order.  The online
+losses and final tables are therefore bit-identical to
+:func:`~repro.serve.online.offline_reference` replaying the same id
+streams, regardless of serve load — asserted in ``tests/test_serve.py``.
+
+**Snapshot consistency.**  Commits advance each table's
+:class:`~repro.serve.store.VersionFence`; serve reads are fenced and
+every rank tags its shard block with the version it read.  Because ops
+are totally ordered, all ranks answer at the same version — the driver
+asserts one version per batch and counts violations (``torn_batches``,
+always 0).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.comm import (
+    PRIORITY_SERVE,
+    PRIORITY_URGENT,
+    CommScheduler,
+    SchedComm,
+    open_group,
+)
+from repro.data.zipf import ZipfSampler
+from repro.engine.embrace_runtime import EmbraceTableRuntime
+from repro.serve.batching import AdmissionQueue
+from repro.serve.config import ServeConfig
+from repro.serve.online import SparseEmbeddingTask, build_tables, train_stream_rng
+from repro.serve.requests import ClosedLoopClient, LookupRequest, ZipfRequestLoad
+from repro.serve.store import VersionedShardStore
+
+#: Training-priority for the overlapped gradient exchange / loss gather
+#: (matches the trainer's default exchange priority).
+PRIORITY_TRAIN = 0.0
+
+#: Driver poll interval while only waiting on clients (training done).
+_IDLE_POLL_S = 0.02
+
+
+class _WorkerState:
+    """Per-rank execution state shared by the driver and follower loops."""
+
+    def __init__(self, comm, cfg: ServeConfig):
+        self.comm = comm
+        self.cfg = cfg
+        self.obs = comm.obs
+        self.sched = CommScheduler(comm, overlap=cfg.overlap)
+        self.ctrl = SchedComm(self.sched, priority=PRIORITY_SERVE)
+        self.trainc = SchedComm(self.sched, priority=PRIORITY_URGENT)
+        tables = build_tables(cfg)
+        self.stores = {
+            name: VersionedShardStore(
+                EmbraceTableRuntime(self.trainc, tables[name], lr=cfg.lr)
+            )
+            for name in cfg.tables
+        }
+        self.task = SparseEmbeddingTask(cfg.vocab, cfg.dim, cfg.seed)
+        self.sampler = ZipfSampler(cfg.vocab, cfg.zipf_exponent)
+        self.train_rngs = {
+            name: train_stream_rng(cfg, comm.rank, ti)
+            for ti, name in enumerate(cfg.tables)
+        }
+        #: (loss_handle, {table: exchange_handle}) of the in-flight step.
+        self.pending: tuple | None = None
+        self.steps_done = 0
+        self.losses: list[float] = []
+        # Driver-side bookkeeping (rank 0 only).
+        self.requests_served = 0
+        self.requests_cancelled = 0
+        self.batches = 0
+        self.torn_batches = 0
+        self.batch_versions: list[int] = []
+        self.serve_results: list[tuple[str, np.ndarray, int, np.ndarray]] = []
+
+
+def _execute_op(
+    state: _WorkerState, op: tuple, requests: list[LookupRequest] | None = None
+) -> bool:
+    """Run one sequenced operation on this rank; False means stop.
+
+    Every rank calls this with the same ``op`` in the same order; only
+    rank 0 passes the batch's ``requests`` (completion is local).
+    """
+    kind = op[0]
+    if kind == "serve":
+        _, table, ids = op
+        with state.obs.span("serve_batch", resource="serve", kind="compute"):
+            version, block = state.stores[table].read_rows(ids)
+            gathered = state.ctrl.allgather((version, block))
+            if state.comm.rank == 0:
+                _complete_batch(state, table, ids, gathered, requests)
+        return True
+    if kind == "train":
+        _start_step(state)
+        return True
+    if kind == "commit":
+        _commit_step(state)
+        return True
+    if kind == "stop":
+        return False
+    raise ValueError(f"unknown serve op {op!r}")  # pragma: no cover
+
+
+def _complete_batch(state, table, ids, gathered, requests) -> None:
+    """Rank 0: reassemble full-dimension rows, hand them to waiters."""
+    versions = {int(v) for v, _ in gathered}
+    values = np.concatenate([b for _, b in gathered], axis=1)
+    version = versions.pop() if len(versions) == 1 else -1
+    if version < 0:
+        state.torn_batches += 1
+        state.obs.count("serve.torn_batches")
+    state.batches += 1
+    state.batch_versions.append(version)
+    state.obs.count("serve.batches")
+    state.obs.count("serve.rows", float(len(ids)))
+    state.obs.count_rows(table, ids)
+    if state.cfg.record_serve_results:
+        state.serve_results.append((table, ids, version, values))
+    if requests is not None:
+        offsets = np.cumsum([0] + [len(r.ids) for r in requests])
+        for i, req in enumerate(requests):
+            req.complete(values[offsets[i] : offsets[i + 1]], version)
+            state.requests_served += 1
+            state.obs.count("serve.requests")
+
+
+def _start_step(state: _WorkerState) -> None:
+    """Refresh + forward/backward; submit the exchange without waiting."""
+    cfg, world = state.cfg, state.comm.world_size
+    local_ids = {
+        name: state.sampler.sample(state.train_rngs[name], cfg.train_batch)
+        for name in cfg.tables
+    }
+    for name, ids in local_ids.items():
+        state.obs.count_rows(name, ids)
+    # One fused urgent gather covers Algorithm 1's id exchange for every
+    # table; refresh reuses it instead of gathering again.
+    gathered = state.trainc.allgather(local_ids)
+    with state.obs.span("online_step", resource="compute"):
+        rank_loss = 0.0
+        grads = {}
+        for name in cfg.tables:
+            store = state.stores[name]
+            store.runtime.refresh_rows(
+                local_ids[name], all_ids=[per_rank[name] for per_rank in gathered]
+            )
+            loss, grad = state.task.loss_and_grad(
+                store.runtime.table.weight.data, local_ids[name]
+            )
+            rank_loss += loss
+            grads[name] = grad
+    step = state.steps_done
+    loss_handle = state.sched.submit(
+        lambda c, v=rank_loss: c.allgather(v),
+        priority=PRIORITY_TRAIN,
+        label=f"loss:{step}",
+    )
+    exchange = {
+        name: state.sched.submit(
+            lambda c, rt=state.stores[name].runtime, g=grads[name]: rt.exchange(
+                c, g, scale=1.0 / world
+            ),
+            priority=PRIORITY_TRAIN,
+            label=f"exchange:{name}:{step}",
+        )
+        for name in cfg.tables
+    }
+    state.pending = (loss_handle, exchange)
+
+
+def _commit_step(state: _WorkerState) -> None:
+    """Wait on the in-flight exchange; apply it under the write fences."""
+    loss_handle, exchange = state.pending
+    state.pending = None
+    with state.obs.span("commit_step", resource="compute"):
+        for name in state.cfg.tables:
+            state.stores[name].apply_part(exchange[name].wait(), final=True)
+        parts = loss_handle.wait()
+    state.losses.append(sum(parts) / state.comm.world_size)
+    state.steps_done += 1
+    state.obs.count("serve.steps")
+
+
+# --------------------------------------------------------------------- #
+# rank-0 driver
+# --------------------------------------------------------------------- #
+def _issue(state: _WorkerState, op: tuple, requests=None) -> bool:
+    """Broadcast ``op`` to the followers, then execute it locally."""
+    state.ctrl.broadcast(op, root=0)
+    return _execute_op(state, op, requests=requests)
+
+
+def _drive_loop(state: _WorkerState, queue: AdmissionQueue, clients) -> None:
+    cfg = state.cfg
+    ops_issued = 0
+    while True:
+        if cfg.interrupt_after is not None and ops_issued >= cfg.interrupt_after:
+            raise KeyboardInterrupt  # test hook: deterministic Ctrl-C
+        training = state.steps_done < cfg.train_steps or state.pending is not None
+        batch = queue.next_batch(0.0 if training else _IDLE_POLL_S)
+        requests = None
+        if batch is not None:
+            table, requests = batch
+            ids = np.concatenate([r.ids for r in requests])
+            op: tuple = ("serve", table, ids)
+        elif state.pending is not None:
+            op = ("commit",)
+        elif state.steps_done < cfg.train_steps:
+            op = ("train",)
+        elif state.requests_served >= cfg.total_requests or (
+            len(queue) == 0 and not any(c.is_alive() for c in clients)
+        ):
+            op = ("stop",)
+        else:
+            continue  # clients still thinking; poll again
+        ops_issued += 1
+        if not _issue(state, op, requests=requests):
+            return
+
+
+def _drain(state: _WorkerState, queue: AdmissionQueue) -> None:
+    """Interrupted: serve what's queued, commit what's in flight, stop."""
+    while True:
+        batch = queue.next_batch(0.0)
+        if batch is None:
+            break
+        table, requests = batch
+        ids = np.concatenate([r.ids for r in requests])
+        _issue(state, ("serve", table, ids), requests=requests)
+    if state.pending is not None:
+        _issue(state, ("commit",))
+    _issue(state, ("stop",))
+
+
+def _drive(state: _WorkerState) -> dict:
+    cfg = state.cfg
+    queue = AdmissionQueue(cfg.max_batch, cfg.max_delay_s)
+    load = ZipfRequestLoad(
+        cfg.vocab, cfg.tables, cfg.ids_per_request, cfg.zipf_exponent, cfg.seed
+    )
+    stop_event = threading.Event()
+    clients = [
+        ClosedLoopClient(i, load, queue, cfg.requests_per_client, stop_event)
+        for i in range(cfg.clients)
+    ]
+    t0 = time.perf_counter()
+    for client in clients:
+        client.start()
+    interrupted = False
+    try:
+        _drive_loop(state, queue, clients)
+    except KeyboardInterrupt:
+        interrupted = True
+        stop_event.set()
+        queue.close()  # submissions after this are cancelled immediately
+        _drain(state, queue)
+    finally:
+        stop_event.set()
+    for client in clients:
+        client.join(timeout=ClosedLoopClient.WAIT_TIMEOUT)
+    state.requests_cancelled += queue.cancel_pending()
+    state.requests_cancelled += sum(c.cancelled for c in clients)
+    wall = time.perf_counter() - t0
+    for client in clients:
+        if client.error is not None:
+            raise RuntimeError(f"serve client {client.client_id} failed") from client.error
+    latencies = [r.latency_s for c in clients for r in c.completed]
+    return {
+        "requests_served": state.requests_served,
+        "requests_cancelled": state.requests_cancelled,
+        "batches": state.batches,
+        "torn_batches": state.torn_batches,
+        "batch_versions": state.batch_versions,
+        "latencies_s": latencies,
+        "interrupted": interrupted,
+        "wall_time_s": wall,
+        "steps_done": state.steps_done,
+        "serve_results": state.serve_results if cfg.record_serve_results else None,
+    }
+
+
+def _follow(state: _WorkerState) -> None:
+    while True:
+        op = state.ctrl.broadcast(None, root=0)
+        if not _execute_op(state, op):
+            return
+
+
+def _serve_worker(comm, cfg: ServeConfig) -> dict:
+    """Per-rank entry point (module-level: persistent pools pickle it)."""
+    state = _WorkerState(comm, cfg)
+    try:
+        report = _drive(state) if comm.rank == 0 else None
+        if comm.rank != 0:
+            _follow(state)
+        final = {
+            name: state.stores[name].runtime.gather_full_table()
+            for name in cfg.tables
+        }
+    finally:
+        state.sched.close()
+    out: dict[str, Any] = {
+        "losses": state.losses,
+        "steps_done": state.steps_done,
+        "final_tables": final,
+    }
+    if report is not None:
+        out["report"] = report
+    return out
+
+
+# --------------------------------------------------------------------- #
+# public API
+# --------------------------------------------------------------------- #
+@dataclass
+class ServeReport:
+    """What one service run measured (assembled on the launcher)."""
+
+    config: ServeConfig
+    requests_served: int
+    requests_cancelled: int
+    batches: int
+    torn_batches: int
+    batch_versions: list[int]
+    latencies_s: list[float]
+    losses: list[float]
+    steps_done: int
+    interrupted: bool
+    wall_time_s: float
+    final_tables: dict[str, np.ndarray] = field(repr=False)
+    serve_results: list | None = field(default=None, repr=False)
+    trace: Any = field(default=None, repr=False)
+
+    @property
+    def p50_ms(self) -> float:
+        return self._percentile(50)
+
+    @property
+    def p99_ms(self) -> float:
+        return self._percentile(99)
+
+    def _percentile(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_s), q) * 1e3)
+
+    @property
+    def qps(self) -> float:
+        return self.requests_served / self.wall_time_s if self.wall_time_s else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"served {self.requests_served} requests in {self.batches} batches "
+            f"({self.requests_cancelled} cancelled)"
+            + (" [interrupted]" if self.interrupted else ""),
+            f"latency p50 {self.p50_ms:.3f} ms  p99 {self.p99_ms:.3f} ms  "
+            f"qps {self.qps:.0f}",
+            f"online training: {self.steps_done} steps committed, "
+            f"torn batches {self.torn_batches}",
+        ]
+        if self.losses:
+            lines.append(
+                f"loss {self.losses[0]:.6f} -> {self.losses[-1]:.6f}"
+            )
+        return "\n".join(lines)
+
+
+class ShardedEmbeddingService:
+    """Stand the sharded tables up for serving + online training.
+
+    Owns (or borrows, via ``group=``) a persistent
+    :func:`~repro.comm.open_group` pool; each :meth:`run` dispatches the
+    service loop across the pool and returns a :class:`ServeReport`.
+    Usable as a context manager; :meth:`close` is idempotent and is
+    also invoked when a ``KeyboardInterrupt`` escapes :meth:`run`, so a
+    Ctrl-C on the launcher tears the pool down (short grace, shm swept)
+    instead of leaking it.
+    """
+
+    def __init__(self, config: ServeConfig, group=None):
+        self.config = config
+        self._owns_group = group is None
+        self.group = group or open_group(
+            config.world_size,
+            backend=config.backend,
+            transport=config.transport,
+            trace=True if config.trace else None,
+        )
+        self._closed = False
+
+    def run(self) -> ServeReport:
+        """One full service run; returns its report (rank-0 view)."""
+        try:
+            outs = self.group.run(_serve_worker, self.config)
+        except KeyboardInterrupt:
+            self.close()
+            raise
+        report = outs[0]["report"]
+        return ServeReport(
+            config=self.config,
+            requests_served=report["requests_served"],
+            requests_cancelled=report["requests_cancelled"],
+            batches=report["batches"],
+            torn_batches=report["torn_batches"],
+            batch_versions=report["batch_versions"],
+            latencies_s=report["latencies_s"],
+            losses=outs[0]["losses"],
+            steps_done=outs[0]["steps_done"],
+            interrupted=report["interrupted"],
+            wall_time_s=report["wall_time_s"],
+            final_tables=outs[0]["final_tables"],
+            serve_results=report["serve_results"],
+            trace=self.group.last_trace,
+        )
+
+    def close(self) -> None:
+        if self._owns_group and not self._closed:
+            self.group.close()
+        self._closed = True
+
+    def __enter__(self) -> "ShardedEmbeddingService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,114 @@
+"""Snapshot-consistent access to one rank's column shard.
+
+A sharded-Adam commit rewrites many rows of the authoritative column
+slice; a lookup racing it could return some rows pre-update and some
+post-update — a *torn read* that corresponds to no table state that
+ever existed.  :class:`VersionFence` is a seqlock preventing exactly
+that, and :class:`VersionedShardStore` wraps an
+:class:`~repro.engine.embrace_runtime.EmbraceTableRuntime` so every
+read carries the version (= committed optimizer steps) it observed.
+
+Cross-rank consistency is the service's job: because the sequencer
+orders serve ops against commit ops identically on every rank, all
+ranks answer a given lookup at the same version — asserted per batch
+by tagging each shard block with its version in the AllGather.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.engine.embrace_runtime import EmbraceTableRuntime
+from repro.tensors import SparseRows
+
+
+class VersionFence:
+    """A seqlock: optimistic reads vs. a single in-place writer.
+
+    The sequence counter is even when the protected state is stable and
+    odd while a write is in progress; ``version`` is ``seq >> 1`` — the
+    number of completed writes.  Readers snapshot the counter, copy the
+    data, and retry if the counter moved (or was odd): no reader ever
+    blocks the writer, and no reader ever returns a half-written state.
+    CPython's GIL makes the integer loads/stores atomic; the retry loop
+    is what provides the consistency, not any compare-and-swap.
+    """
+
+    __slots__ = ("_seq", "_write_lock")
+
+    def __init__(self):
+        self._seq = 0
+        self._write_lock = threading.Lock()
+
+    @property
+    def version(self) -> int:
+        """Completed writes (committed optimizer steps for a table)."""
+        return self._seq >> 1
+
+    def begin_write(self) -> None:
+        self._write_lock.acquire()
+        self._seq += 1  # now odd: readers will retry
+
+    def end_write(self) -> None:
+        self._seq += 1  # even again: state stable at a new version
+        self._write_lock.release()
+
+    def read(self, fn):
+        """Run ``fn()`` under the optimistic protocol.
+
+        Returns ``(version, fn())`` for an execution of ``fn`` that
+        observed a single stable version.  ``fn`` must be a pure read
+        (it may run multiple times).
+        """
+        while True:
+            start = self._seq
+            if start & 1:
+                time.sleep(0)  # writer in progress; yield and retry
+                continue
+            result = fn()
+            if self._seq == start:
+                return start >> 1, result
+            time.sleep(0)
+
+
+class VersionedShardStore:
+    """One table's runtime plus its version fence.
+
+    Reads return **only this rank's authoritative columns** — the
+    service reassembles full-dimension vectors by AllGathering every
+    rank's block.  The local replica's other columns are refreshed
+    lazily for training forwards and may be stale; serving from the
+    authoritative slice sidesteps that entirely.
+    """
+
+    def __init__(self, runtime: EmbraceTableRuntime):
+        self.runtime = runtime
+        self.fence = VersionFence()
+
+    @property
+    def version(self) -> int:
+        return self.fence.version
+
+    def read_rows(self, ids: np.ndarray) -> tuple[int, np.ndarray]:
+        """Snapshot-consistent ``(version, rows[:, my_columns])`` copy."""
+        ids = np.asarray(ids, dtype=np.int64)
+        weight = self.runtime.table.weight.data
+        cols = self.runtime.my_columns
+
+        def copy_block():
+            # Fancy indexing copies; the column slice of the copy is
+            # then made contiguous for the wire.
+            return np.ascontiguousarray(weight[ids][:, cols])
+
+        return self.fence.read(copy_block)
+
+    def apply_part(self, shard_grad: SparseRows, final: bool = True) -> None:
+        """Commit one exchanged gradient part under the write fence."""
+        self.fence.begin_write()
+        try:
+            self.runtime.apply_part(shard_grad, final=final)
+        finally:
+            self.fence.end_write()

@@ -62,6 +62,15 @@ class TestExamples:
         out = run_example("translation_embrace.py", *args)
         assert "bit-identical across strategies: True" in out
 
+    def test_serving_study(self):
+        out = run_example(
+            "serving_study.py", "--steps", "6", "--requests", "15",
+            "--clients", "1", "3",
+        )
+        assert "bit-identical to offline replay: True" in out
+        assert "torn batches (version-mixed reads): 0" in out
+        assert "p50 ms" in out and "qps" in out
+
     def test_autotune_study(self, tmp_path):
         out_json = tmp_path / "tuned.json"
         out = run_example(

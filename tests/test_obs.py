@@ -314,3 +314,78 @@ class TestRecorderThreadSafety:
         names = {n for n, _, _ in rec.payload()["names"]}
         assert names == {"coll.compute", "coll.comm", "span.compute",
                          "span.comm"}
+
+
+class TestRowAccessCounters:
+    def test_count_rows_accumulates_and_ranks(self):
+        from repro.obs.recorder import SpanRecorder
+
+        rec = SpanRecorder(rank=0)
+        rec.count_rows("emb", [0, 0, 3, 7])
+        rec.count_rows("emb", np.array([[3, 3], [0, 9]]))  # any shape raveled
+        hot = rec.hot_rows("emb")
+        assert hot[0] == (0, 3) and hot[1] == (3, 3)  # count desc, row asc
+        assert dict(hot)[7] == 1 and dict(hot)[9] == 1
+        assert rec.hot_rows("emb", k=1) == [(0, 3)]
+        assert rec.hot_rows("missing") == []
+        rec.count_rows("emb", [])  # no-op
+        assert dict(rec.hot_rows("emb"))[0] == 3
+
+    def test_count_rows_grows_on_demand(self):
+        from repro.obs.recorder import SpanRecorder
+
+        rec = SpanRecorder(rank=0)
+        rec.count_rows("emb", [2])
+        rec.count_rows("emb", [100_000])  # forces a regrow
+        assert dict(rec.hot_rows("emb")) == {2: 1, 100_000: 1}
+
+    def test_payload_ships_topk_and_bundle_merges(self):
+        from repro.obs.recorder import SpanRecorder
+
+        payloads = []
+        for rank in range(2):
+            rec = SpanRecorder(rank=rank, row_topk=2)
+            rec.count_rows("emb", [0] * (5 - rank) + [1] * 2 + [2 + rank])
+            payloads.append(rec.payload())
+        summary = payloads[0]["row_counts"]["emb"]
+        assert list(summary["ids"]) == [0, 1]  # top-2 only
+        assert summary["total"] == 8 and summary["rows_seen"] == 3
+        bundle = merge_payloads(payloads)
+        assert bundle.row_tables() == ["emb"]
+        assert bundle.hot_rows("emb", 2) == [(0, 9), (1, 4)]
+        assert bundle.row_access_total("emb") == 15  # exact despite top-k
+
+    def test_row_topk_config_round_trip(self):
+        from repro.obs.recorder import SpanRecorder
+
+        cfg = TraceConfig(row_topk=3)
+        rec = SpanRecorder.from_config(0, cfg)
+        rec.count_rows("emb", list(range(10)))
+        assert len(rec.hot_rows("emb")) == 3
+        with pytest.raises(ValueError):
+            TraceConfig(row_topk=0)
+
+    def test_null_recorder_accepts_row_counts(self):
+        NULL_RECORDER.count_rows("emb", [1, 2, 3])  # must not raise
+
+    def test_traced_training_records_embedding_row_counts(self):
+        """The trainer's id stream feeds the hot-row counters (satellite:
+        training-side recording; the serve-side twin lives in
+        tests/test_serve.py)."""
+        from repro.engine.run import RunConfig, run
+        from repro.models import get_config
+
+        result = run(RunConfig(
+            model=get_config("GNMT-8").tiny(),
+            mode="real",
+            strategy="embrace",
+            world_size=2,
+            steps=2,
+            backend="thread",
+            trace=True,
+        ))
+        bundle = result.raw.trace
+        assert bundle.row_tables(), "no row counters recorded"
+        for table in bundle.row_tables():
+            assert bundle.row_access_total(table) > 0
+            assert bundle.hot_rows(table, 5)
