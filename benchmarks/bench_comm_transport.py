@@ -4,7 +4,14 @@ Measures, on real worker processes:
 
 * 4-rank ring AllReduce of a 64 MB float32 array on both transports —
   the acceptance metric (shm must be >= 5x queue throughput);
-* sparse AlltoAll column shards (multi-segment frames) on both;
+* sparse AlltoAll column shards (single-segment packed frames) on both;
+* adaptive sparse allreduce vs the ring-allgather reference at three
+  gradient densities (low/mid/high) on shm — the adaptive path must win
+  at two of the three;
+* a zero-allocation audit: 20 steady-state AlltoAll steps on shm under
+  ``tracemalloc`` (numpy domain, filtered to ``src/repro/comm``) — the
+  wire path must perform no numpy allocations once the buffer arena and
+  segment pool are warm;
 * small-message round latency (transport fixed costs);
 * one-shot vs persistent-group dispatch (fork/link amortization);
 * span-recording overhead: traced vs untraced AllReduce throughput
@@ -27,13 +34,30 @@ import time
 import numpy as np
 
 from repro.comm import TRANSPORTS, open_group, run_multiprocess
-from repro.comm.sparse import alltoall_column_shards
+from repro.comm.arena import default_arena
+from repro.comm.sparse import (
+    allreduce_sparse_adaptive,
+    allreduce_sparse_via_allgather,
+    alltoall_column_shards,
+)
 from repro.tensors import SparseRows
 
 WORLD = 4
 PAYLOAD_MB = 64
 SPARSE_ROWS = 40_000
 SPARSE_DIM = 96
+
+#: Gradient-density scenarios for the adaptive allreduce: index draws
+#: per rank, as a fraction of the table.  rows/8 draws ≈ 0.12 distinct
+#: density (stays sparse), rows/2 ≈ 0.39 (crosses a 0.25 switch), and
+#: 2*rows ≈ 0.86 (nearly dense — the stream split's home turf).
+SPARSE_SCENARIOS = {"low": 0.125, "mid": 0.5, "high": 2.0}
+
+#: The SchedKnobs.dense_switch_density the adaptive scenarios run at.
+ADAPTIVE_DENSE_SWITCH = 0.25
+
+#: Steady-state steps audited by the zero-allocation gate.
+ZERO_ALLOC_STEPS = 20
 
 
 def _timed_allreduce(comm, n_elems: int, iters: int) -> list[float]:
@@ -69,6 +93,86 @@ def _timed_sparse_alltoall(comm, rows: int, dim: int, iters: int) -> list[float]
     return times
 
 
+def _sparse_grad(rank: int, rows: int, dim: int, samples: int) -> SparseRows:
+    rng = np.random.default_rng(rank)
+    return SparseRows(
+        rng.integers(0, rows, size=samples),
+        rng.normal(size=(samples, dim)).astype(np.float32),
+        rows,
+    )
+
+
+def _timed_sparse_allreduce(
+    comm, rows: int, dim: int, samples: int, iters: int, dense_switch: float
+) -> tuple[list[float], list[float]]:
+    """Per-iteration seconds of (reference allgather, adaptive) allreduce."""
+    grad = _sparse_grad(comm.rank, rows, dim, samples)
+    ref_times: list[float] = []
+    ada_times: list[float] = []
+    for _ in range(2):
+        allreduce_sparse_via_allgather(comm, grad)
+        allreduce_sparse_adaptive(comm, grad, dense_switch=dense_switch)
+    for _ in range(iters):
+        comm.barrier()
+        start = time.perf_counter()
+        allreduce_sparse_via_allgather(comm, grad)
+        ref_times.append(time.perf_counter() - start)
+        comm.barrier()
+        start = time.perf_counter()
+        allreduce_sparse_adaptive(comm, grad, dense_switch=dense_switch)
+        ada_times.append(time.perf_counter() - start)
+    return ref_times, ada_times
+
+
+def _audit_zero_alloc(comm, rows: int, dim: int, steps: int) -> dict:
+    """Trace numpy allocations over ``steps`` steady-state AlltoAlls.
+
+    Warms the arena and segment pool first, then runs ``steps`` more
+    AlltoAll column-shard exchanges under ``tracemalloc`` and reports
+    (a) live numpy-domain allocations attributed to ``src/repro/comm``
+    files that appeared during the window, and (b) the arena and
+    segment-pool miss/fallback deltas — all must be zero: steady state,
+    every wire buffer is recycled.  The final ``coalesce()`` that builds
+    the caller-owned result lives in ``repro.tensors`` and is exempt by
+    construction (it is compute, not wire).
+    """
+    import tracemalloc
+
+    grad = _sparse_grad(comm.rank, rows, dim, rows // 2)
+    for _ in range(3):  # warm arena size classes + shm segment pool
+        alltoall_column_shards(comm, grad)
+    arena0 = default_arena().counters()
+    seg0 = comm.transport_counters()
+    comm.barrier()
+    tracemalloc.start(15)
+    snap0 = tracemalloc.take_snapshot()
+    for _ in range(steps):
+        alltoall_column_shards(comm, grad)
+    snap1 = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    domain = [tracemalloc.DomainFilter(True, np.lib.tracemalloc_domain)]
+    wire = [tracemalloc.Filter(True, "*src/repro/comm/*", all_frames=True)]
+    diff = (
+        snap1.filter_traces(domain)
+        .filter_traces(wire)
+        .compare_to(snap0.filter_traces(domain).filter_traces(wire), "lineno")
+    )
+    arena1 = default_arena().counters()
+    seg1 = comm.transport_counters()
+    return {
+        "steps": steps,
+        "numpy_alloc_count": int(sum(max(d.count_diff, 0) for d in diff)),
+        "numpy_alloc_bytes": int(sum(max(d.size_diff, 0) for d in diff)),
+        "arena_miss_delta": int(arena1["arena.misses"] - arena0["arena.misses"]),
+        "arena_fallback_delta": int(
+            arena1["arena.fallbacks"] - arena0["arena.fallbacks"]
+        ),
+        "segpool_miss_delta": int(
+            seg1.get("segpool.misses", 0) - seg0.get("segpool.misses", 0)
+        ),
+    }
+
+
 def _ping(comm) -> float:
     """One tiny-payload ring round (per-message fixed costs)."""
     comm.barrier()
@@ -101,6 +205,10 @@ def measure(world: int, payload_mb: float, iters: int) -> dict:
         },
         "allreduce": {},
         "sparse_alltoall": {},
+        "sparse_adaptive": {
+            "dense_switch": ADAPTIVE_DENSE_SWITCH,
+            "scenarios": {},
+        },
         "ping": {},
     }
     for transport in TRANSPORTS:
@@ -119,6 +227,44 @@ def measure(world: int, payload_mb: float, iters: int) -> dict:
             }
             pings = [max(group.run(_ping)) for _ in range(3)]
             results["ping"][transport] = {"latency_s": float(np.median(pings))}
+            if transport != "shm":
+                continue
+            # Adaptive allreduce vs the ring-allgather reference at the
+            # three density scenarios, plus the zero-allocation audit —
+            # both on the production (shm) wire only.
+            for name, fraction in SPARSE_SCENARIOS.items():
+                samples = int(SPARSE_ROWS * fraction)
+                per_rank = group.run(
+                    _timed_sparse_allreduce,
+                    SPARSE_ROWS,
+                    SPARSE_DIM,
+                    samples,
+                    iters,
+                    ADAPTIVE_DENSE_SWITCH,
+                )
+                ref = float(np.median(_step_seconds([r for r, _ in per_rank])))
+                ada = float(np.median(_step_seconds([a for _, a in per_rank])))
+                results["sparse_adaptive"]["scenarios"][name] = {
+                    "samples": samples,
+                    "reference_s": ref,
+                    "adaptive_s": ada,
+                    "speedup": ref / ada,
+                }
+            scen = results["sparse_adaptive"]["scenarios"]
+            results["sparse_adaptive"]["wins"] = sum(
+                1 for s in scen.values() if s["speedup"] > 1.0
+            )
+            audits = group.run(
+                _audit_zero_alloc, SPARSE_ROWS, SPARSE_DIM, ZERO_ALLOC_STEPS
+            )
+            results["zero_alloc"] = {
+                "steps": ZERO_ALLOC_STEPS,
+                **{
+                    key: int(sum(a[key] for a in audits))
+                    for key in audits[0]
+                    if key != "steps"
+                },
+            }
 
     results["allreduce"]["speedup"] = (
         results["allreduce"]["shm"]["mbps"] / results["allreduce"]["queue"]["mbps"]
@@ -151,6 +297,14 @@ def measure(world: int, payload_mb: float, iters: int) -> dict:
         "allreduce_speedup": results["allreduce"]["speedup"],
         "sparse_alltoall_speedup": results["sparse_alltoall"]["speedup"],
         "dispatch_speedup": results["dispatch"]["speedup"],
+        "adaptive_allgather_speedup": float(
+            np.median(
+                [
+                    s["speedup"]
+                    for s in results["sparse_adaptive"]["scenarios"].values()
+                ]
+            )
+        ),
     }
     return results
 
@@ -203,6 +357,29 @@ def render(results: dict) -> str:
         f"dispatch: one-shot {d['one_shot_s']*1e3:.1f} ms/run vs persistent "
         f"{d['persistent_s']*1e3:.1f} ms/run ({d['speedup']:.1f}x)",
     ]
+    adaptive = results.get("sparse_adaptive", {}).get("scenarios")
+    if adaptive:
+        lines.append("")
+        lines.append(
+            f"adaptive allreduce (dense_switch="
+            f"{results['sparse_adaptive']['dense_switch']}, shm):"
+        )
+        for name, s in adaptive.items():
+            lines.append(
+                f"{name:>18} {s['reference_s']:>12.4f} {s['adaptive_s']:>12.4f} "
+                f"{s['speedup']:>8.1f}x  ({s['samples']} draws)"
+            )
+        lines.append(
+            f"{'wins':>18} {results['sparse_adaptive']['wins']}/3 scenarios"
+        )
+    if "zero_alloc" in results:
+        z = results["zero_alloc"]
+        lines.append(
+            f"zero-alloc audit: {z['numpy_alloc_count']} numpy allocs "
+            f"({z['numpy_alloc_bytes']} B) in repro.comm over {z['steps']} "
+            f"steps; arena miss/fallback {z['arena_miss_delta']}/"
+            f"{z['arena_fallback_delta']}, segpool miss {z['segpool_miss_delta']}"
+        )
     if "tracing" in results:
         t = results["tracing"]
         lines.append(
@@ -242,6 +419,18 @@ def test_shm_transport_beats_queue(benchmark=None):
     print(render(results))
     assert results["allreduce"]["speedup"] >= 2.0
     assert results["dispatch"]["speedup"] >= 2.0
+
+
+def test_wire_path_allocation_free(benchmark=None):
+    """Steady state, the sparse AlltoAll wire path allocates nothing:
+    no numpy allocations inside ``src/repro/comm``, no arena misses or
+    fallbacks, no new shm segments — over 20 consecutive steps."""
+    results = measure(world=4, payload_mb=8, iters=2)
+    z = results["zero_alloc"]
+    assert z["numpy_alloc_count"] == 0, z
+    assert z["arena_miss_delta"] == 0, z
+    assert z["arena_fallback_delta"] == 0, z
+    assert z["segpool_miss_delta"] == 0, z
 
 
 def test_tracing_overhead_small(benchmark=None):

@@ -87,7 +87,14 @@ def gate(
 
 
 def check_comm(baseline: dict, tolerance: float, args) -> list[str]:
-    """Gate the transport baseline (meta overridable from the CLI)."""
+    """Gate the transport baseline (meta overridable from the CLI).
+
+    On top of the floored ratios: the adaptive sparse allreduce must
+    beat the ring-allgather reference at two of the three density
+    scenarios, and the zero-allocation audit must report a clean wire
+    path (no numpy allocations in ``repro.comm``, no arena misses or
+    fallbacks, no new shm segments across the steady-state steps).
+    """
     from bench_comm_transport import measure, render
 
     def measure_fn(meta):
@@ -97,7 +104,34 @@ def check_comm(baseline: dict, tolerance: float, args) -> list[str]:
             args.iters or meta["iters"],
         )
 
-    return gate(baseline, tolerance, measure_fn, render)
+    def absolute_fn(fresh):
+        failures = []
+        wins = fresh["sparse_adaptive"]["wins"]
+        if wins < 2:
+            failures.append(
+                f"sparse_adaptive.wins: adaptive allreduce beat the "
+                f"allgather reference at only {wins}/3 density scenarios "
+                f"(needs >= 2)"
+            )
+        z = fresh["zero_alloc"]
+        dirty = {
+            key: z[key]
+            for key in (
+                "numpy_alloc_count",
+                "arena_miss_delta",
+                "arena_fallback_delta",
+                "segpool_miss_delta",
+            )
+            if z[key] != 0
+        }
+        if dirty:
+            failures.append(
+                f"zero_alloc: wire path allocated in steady state over "
+                f"{z['steps']} steps: {dirty}"
+            )
+        return failures
+
+    return gate(baseline, tolerance, measure_fn, render, absolute_fn)
 
 
 def check_sched(baseline_path: str, tolerance: float) -> list[str]:

@@ -23,6 +23,7 @@ Collective algorithms are implemented once, against the primitive
 ``send``/``recv``/``barrier`` surface, in :mod:`primitives`.
 """
 
+from repro.comm.arena import BufferArena, arena_counters, default_arena
 from repro.comm.backend import Communicator, payload_nbytes, ring_chunk_bounds
 from repro.comm.frames import decode_frames, encode_frames
 from repro.comm.group import BACKENDS, CommGroup, open_group
@@ -40,6 +41,7 @@ from repro.comm.sched import (
 )
 from repro.comm.sparse import (
     allgather_sparse,
+    allreduce_sparse_adaptive,
     allreduce_sparse_via_allgather,
     alltoall_column_shards,
     alltoall_lookup_results,
@@ -48,6 +50,9 @@ from repro.comm.sparse import (
 
 __all__ = [
     "BACKENDS",
+    "BufferArena",
+    "arena_counters",
+    "default_arena",
     "CommGroup",
     "open_group",
     "Communicator",
@@ -69,6 +74,7 @@ __all__ = [
     "PRIORITY_URGENT",
     "dense_chunk_bounds",
     "allgather_sparse",
+    "allreduce_sparse_adaptive",
     "allreduce_sparse_via_allgather",
     "alltoall_column_shards",
     "alltoall_lookup_results",

@@ -186,6 +186,37 @@ class Communicator:
     def _recv_view(self, src: int) -> Any:
         return self._recv(src)
 
+    def recv_view_pinned(self, src: int) -> Any:
+        """Receive like :meth:`recv_view`, but the views stay valid across
+        further communication calls, until :meth:`release_views`.
+
+        Lets a collective hold several peers' payloads simultaneously and
+        reduce straight out of transport-owned memory (the sparse-AlltoAll
+        merge reads every incoming byte exactly once, from the sender's
+        shared-memory segment).  Callers MUST call :meth:`release_views`
+        when done — on transports that pin, the sender's buffers stay
+        unrecyclable until then.  Default: an owned :meth:`recv`, for
+        which release is a no-op.
+        """
+        if not 0 <= src < self.world_size:
+            raise ValueError(f"source {src} out of range")
+        obs = self.obs
+        if not obs.enabled:
+            return self._recv_view_pinned(src)
+        t0 = obs.t()
+        try:
+            return self._recv_view_pinned(src)
+        finally:
+            obs.rec_phase("recv", t0)
+
+    def _recv_view_pinned(self, src: int) -> Any:
+        return self._recv(src)
+
+    def release_views(self) -> None:
+        """Release every payload pinned by :meth:`recv_view_pinned` (their
+        memory may be recycled once all ranks release).  No-op on
+        transports whose receives are always owned."""
+
     def recv_into(
         self, src: int, out: np.ndarray, accumulate: bool = False
     ) -> None:

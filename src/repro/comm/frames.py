@@ -17,9 +17,10 @@ Structured payloads decompose without intermediate copies:
   i.e. pickled by the control channel — the fallback for non-array
   objects.
 
-Encoding is zero-copy for C-contiguous arrays (frames alias the caller's
-memory); transports that capture bytes synchronously (the shared-memory
-path) can therefore send live views.
+Encoding is zero-copy: frames alias the caller's memory — including
+strided views such as column slices — and are packed only at the byte
+capture (segment write or pickle).  Transports that capture bytes
+synchronously (the shared-memory path) can therefore send live views.
 """
 
 from __future__ import annotations
@@ -66,8 +67,14 @@ def _encode(obj: Any, frames: list[np.ndarray]) -> Any:
 
 
 def _frame(arr: np.ndarray, frames: list[np.ndarray]) -> tuple:
-    """Append ``arr`` as a frame; return its (frame, dtype, shape) descriptor."""
-    arr = np.ascontiguousarray(arr)
+    """Append ``arr`` as a frame; return its (frame, dtype, shape) descriptor.
+
+    Frames may be strided views (e.g. a column slice of a gradient):
+    the byte capture — :meth:`~repro.comm.shm.SegmentPool.write_frames`
+    or pickling — packs them, so the receiver always materializes from
+    contiguous bytes.  Keeping the stride until capture fuses what would
+    be a pack-then-copy into one gather.
+    """
     frames.append(arr)
     return (len(frames) - 1, arr.dtype.str, arr.shape)
 

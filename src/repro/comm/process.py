@@ -62,8 +62,11 @@ DEFAULT_TIMEOUT = 120.0
 
 TRANSPORTS = ("shm", "queue")
 
-#: Wire tags on the control queues.
-_SHM_MSG = "s"  # (_SHM_MSG, src, epoch, template, [(segment, nbytes) | None])
+#: Wire tags on the control queues.  A shared-memory message packs every
+#: frame into ONE pooled segment at aligned offsets (one acquire + one
+#: ack per message, however many arrays the payload holds):
+_SHM_MSG = "s"  # (_SHM_MSG, src, epoch, template, segment | None,
+#                 [(offset, nbytes) | None per frame])
 _RAW_MSG = "r"  # (_RAW_MSG, src, epoch, obj)
 
 _group_counter = itertools.count()
@@ -136,6 +139,9 @@ class ProcessCommunicator(Communicator):
         # Acks owed for segments whose views are still live (recv_view);
         # flushed once the view has provably been consumed.
         self._pending_acks: list[tuple[int, str]] = []
+        # Acks held by recv_view_pinned: survive further communication
+        # calls, released only by an explicit release_views().
+        self._pinned_acks: list[tuple[int, str]] = []
 
     # ``_send`` captures payload bytes before returning (shm transport
     # copies into the segment synchronously), so collectives may pass
@@ -152,9 +158,7 @@ class ProcessCommunicator(Communicator):
         rt.drain_acks()
         template, frames = encode_frames(obj)
         try:
-            descs = [
-                rt.pool.write_frame(f) if f.nbytes else None for f in frames
-            ]
+            segment, offsets = rt.pool.write_frames(frames)
         except RuntimeError:
             if rt.pool.closed:
                 return  # teardown: a delayed (fault-injected) send fired late
@@ -162,7 +166,9 @@ class ProcessCommunicator(Communicator):
         # The frames are captured; any live recv_view the caller passed
         # in has been consumed, so its segments can go back to the peer.
         self._flush_acks()
-        rt.inboxes[dst].put((_SHM_MSG, self.rank, self._epoch, template, descs))
+        rt.inboxes[dst].put(
+            (_SHM_MSG, self.rank, self._epoch, template, segment, offsets)
+        )
 
     def send_sum(self, dst: int, x: Any, y: Any) -> None:
         """Reduce ``x + y`` directly into a pooled segment (zero-copy path).
@@ -205,7 +211,8 @@ class ProcessCommunicator(Communicator):
                 self.rank,
                 self._epoch,
                 ndarray_template(x.dtype, x.shape),
-                [(seg.name, x.nbytes)],
+                seg.name,
+                [(0, x.nbytes)],
             )
         )
         if obs.enabled:
@@ -217,6 +224,14 @@ class ProcessCommunicator(Communicator):
 
     def _recv_view(self, src: int) -> Any:
         return self._decode_entry(src, self._wait(src), copy=False)
+
+    def _recv_view_pinned(self, src: int) -> Any:
+        return self._decode_entry(src, self._wait(src), copy=False, pin=True)
+
+    def release_views(self) -> None:
+        if self._pinned_acks:
+            self._emit_acks(self._pinned_acks)
+            self._pinned_acks.clear()
 
     def _wait(self, src: int) -> tuple:
         """Block until a current-epoch message from ``src`` is stashed."""
@@ -252,27 +267,30 @@ class ProcessCommunicator(Communicator):
             if epoch == self._epoch:
                 self._stash[sender].append((_RAW_MSG, msg[3]))
             return
-        _, _, _, template, descs = msg
+        _, _, _, template, segment, offsets = msg
         if epoch == self._epoch:
             # Lazy: bytes are only touched when the caller consumes them.
-            self._stash[sender].append((_SHM_MSG, template, descs))
+            self._stash[sender].append((_SHM_MSG, template, segment, offsets))
             return
-        for desc in descs:  # stale — recycle the segments immediately
-            if desc:
-                self._rt.acks[sender].put(desc[0])
+        if segment is not None:  # stale — recycle the segment immediately
+            self._rt.acks[sender].put(segment)
 
-    def _decode_entry(self, src: int, entry: tuple, copy: bool) -> Any:
+    def _decode_entry(
+        self, src: int, entry: tuple, copy: bool, pin: bool = False
+    ) -> Any:
         if entry[0] == _RAW_MSG:
             return entry[1]
-        _, template, descs = entry
+        _, template, segment, offsets = entry
         buffers = [
-            self._rt.attachments.view(*desc) if desc else b""
-            for desc in descs
+            self._rt.attachments.view(segment, desc[1], desc[0]) if desc else b""
+            for desc in offsets
         ]
         payload = decode_frames(template, buffers, copy=copy)
-        acks = [(src, desc[0]) for desc in descs if desc]
+        acks = [(src, segment)] if segment is not None else []
         if copy:
             self._emit_acks(acks)  # bytes owned — recycle right away
+        elif pin:
+            self._pinned_acks.extend(acks)  # held until release_views()
         else:
             self._pending_acks.extend(acks)  # view live — ack on consume
         return payload
@@ -352,6 +370,7 @@ def _service_loop(
             except BaseException as exc:  # noqa: BLE001 - reported to parent
                 status, payload = "error", repr(exc)
             comm._flush_acks()  # release any segments held by a recv_view
+            comm.release_views()  # ... and any a collective left pinned
             names = runtime.segment_names()
             try:
                 blob = pickle.dumps((status, payload, names))

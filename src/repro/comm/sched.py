@@ -111,12 +111,24 @@ class SchedKnobs:
     rows are disjoint — whereas delaying *more* rows would change which
     shards the next step's refresh observes, so the knob only moves
     bytes in the bit-identical direction.
+
+    ``dense_switch_density`` is SparCML's stream-splitting threshold for
+    the adaptive sparse collectives
+    (:func:`~repro.comm.sparse.allreduce_sparse_adaptive`): once the
+    merged index set of a recursive-doubling hop reaches this fraction
+    of the table's rows, the remaining hops carry a dense packed
+    representation instead of growing COO parts.  ``1.0`` (the default)
+    never switches and reproduces the rank-ordered sparse sum
+    bit-for-bit; below 1.0 the densified tail is documented
+    ``allclose``-exact (the dense accumulator's ``0.0 + x`` identity
+    only rewrites ``-0.0`` to ``+0.0``).
     """
 
     chunk_elems: int = DEFAULT_CHUNK_ELEMS
     max_chunks: int = DEFAULT_MAX_CHUNKS
     bucket_elems: int = DEFAULT_BUCKET_ELEMS
     delayed_min_rows: int = 0
+    dense_switch_density: float = 1.0
 
     def __post_init__(self):
         if not isinstance(self.chunk_elems, int) or self.chunk_elems <= 0:
@@ -135,6 +147,15 @@ class SchedKnobs:
             raise ValueError(
                 f"delayed_min_rows must be an int >= 0, "
                 f"got {self.delayed_min_rows!r}"
+            )
+        if (
+            not isinstance(self.dense_switch_density, (int, float))
+            or isinstance(self.dense_switch_density, bool)
+            or not 0.0 <= self.dense_switch_density <= 1.0
+        ):
+            raise ValueError(
+                f"dense_switch_density must be a float in [0, 1], "
+                f"got {self.dense_switch_density!r}"
             )
 
     def to_dict(self) -> dict:

@@ -29,6 +29,10 @@ import numpy as np
 #: Smallest segment allocated — sub-page frames share the 4 KiB class.
 MIN_SEGMENT_BYTES = 4096
 
+#: Byte alignment of each frame within a multi-frame segment (cache-line
+#: sized, and a multiple of every numpy itemsize).
+FRAME_ALIGN = 64
+
 #: Every pool segment name starts with this (also the cleanup-sweep key).
 SEGMENT_PREFIX = "repro-"
 
@@ -142,12 +146,42 @@ class SegmentPool:
                 return
             self._free.setdefault(seg.size, []).append(name)
 
-    def write_frame(self, frame: np.ndarray) -> tuple[str, int]:
-        """Copy ``frame``'s bytes into a pooled segment; return (name, nbytes)."""
-        seg = self.acquire(frame.nbytes)
-        target = np.frombuffer(seg.buf, dtype=np.uint8, count=frame.nbytes)
-        target[:] = frame.reshape(-1).view(np.uint8)
-        return seg.name, frame.nbytes
+    def write_frames(
+        self, frames: list[np.ndarray]
+    ) -> tuple[str | None, list[tuple[int, int] | None]]:
+        """Pack every frame of one message into a single pooled segment.
+
+        Frames are laid out back to back at :data:`FRAME_ALIGN`-aligned
+        offsets, so a sparse tuple message — indices, values, masks —
+        costs one ``acquire`` and one ack instead of one per frame.
+        Returns ``(segment name, [(offset, nbytes) | None per frame])``;
+        the name is ``None`` when every frame is empty (nothing to
+        ship).  Alignment keeps every ``np.frombuffer`` view on the
+        receiver aligned for any element type.
+        """
+        offsets: list[tuple[int, int] | None] = []
+        total = 0
+        for frame in frames:
+            if not frame.nbytes:
+                offsets.append(None)
+                continue
+            offsets.append((total, frame.nbytes))
+            total += -(-frame.nbytes // FRAME_ALIGN) * FRAME_ALIGN
+        if total == 0:
+            return None, offsets
+        seg = self.acquire(total)
+        for frame, desc in zip(frames, offsets):
+            if desc is None:
+                continue
+            offset, _ = desc
+            # Element-typed destination view: a strided frame (a column
+            # slice sent without packing) gathers straight into the
+            # segment — one copy where pack-then-memcpy would be two.
+            target = np.frombuffer(
+                seg.buf, dtype=frame.dtype, count=frame.size, offset=offset
+            )
+            target.reshape(frame.shape)[...] = frame
+        return seg.name, offsets
 
     def close(self, unlink: bool = True) -> None:
         """Release every segment this pool ever created (in-flight included).
@@ -182,12 +216,12 @@ class AttachmentCache:
     def __len__(self) -> int:
         return len(self._attached)
 
-    def view(self, name: str, nbytes: int) -> memoryview:
+    def view(self, name: str, nbytes: int, offset: int = 0) -> memoryview:
         seg = self._attached.get(name)
         if seg is None:
             seg = shared_memory.SharedMemory(name=name)
             self._attached[name] = seg
-        return seg.buf[:nbytes]
+        return seg.buf[offset : offset + nbytes]
 
     def close(self) -> None:
         for seg in self._attached.values():

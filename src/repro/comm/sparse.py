@@ -4,18 +4,54 @@
   path: every rank receives every peer's raw COO gradient;
 * :func:`allreduce_sparse_via_allgather` — gather + deterministic
   rank-ordered sum (what the baseline's optimizer consumes);
+* :func:`allreduce_sparse_adaptive` — the same sum over a
+  recursive-doubling sparse allgather (log N hops) with SparCML-style
+  stream splitting: per-hop density tracking switches the remaining
+  hops to a dense packed representation once the merged index set
+  crosses ``dense_switch``;
 * :func:`alltoall_column_shards` — EmbRace's hybrid path: each rank
   sends each peer the *column slice* that peer owns, and receives the
-  slices of its own columns from everyone (one AlltoAll of §4.1.1).
+  slices of its own columns from everyone (one AlltoAll of §4.1.1),
+  moving indices and values as raw frames with all scratch drawn from
+  a :class:`~repro.comm.arena.BufferArena`.
+
+Determinism contract: with ``dense_switch=1.0`` (the default) every
+collective here reproduces the canonical rank-ordered sum **bit for
+bit**: locally-coalesced parts merged left-to-right per row via
+:meth:`~repro.tensors.SparseRows.merge_coalesced` (the historical
+``np.add.at`` scatter grouping).  The adaptive path carries the
+per-rank parts unsummed and performs one final rank-ordered merge.
+Below 1.0, densified hops accumulate through a zeros-initialized dense
+buffer in the same rank order; the only deviation from the reference
+bits is the IEEE ``0.0 + x`` identity (exact everywhere except that
+``-0.0`` becomes ``+0.0``) and, past the first dense hop, pairwise
+instead of left-to-right grouping — both documented ``allclose``-exact,
+like :meth:`~repro.tensors.SparseRows.coalesce`.
+
+Allocation contract: steady state, every send/recv/assembly buffer
+comes from the arena (``arena=None`` uses the process-wide
+:func:`~repro.comm.arena.default_arena`), so the wire path performs
+zero numpy allocations once the arena's size classes are warm — gated
+by ``benchmarks/check_comm_regression.py``.  The final
+``coalesce()``/fancy-index that builds the caller-owned result is
+compute, not wire, and allocates normally.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.comm.arena import BufferArena, default_arena
 from repro.comm.backend import Communicator
 from repro.obs.instrument import traced_collective
-from repro.tensors import SparseRows
+from repro.tensors import SparseRows, sorted_union
+
+#: Wire tags of the adaptive collectives' self-describing messages.
+#: Kept as small ints so ``payload_nbytes`` / ``obs.count_bytes`` see
+#: tuples of real ndarrays and account the *actual* on-wire
+#: representation of every hop — sparse or densified.
+_SPARSE_PART = 0  # (_SPARSE_PART, [(indices, values), ...], union)
+_DENSE_PART = 1  # (_DENSE_PART, accumulator, presence mask)
 
 
 def column_slices(dim: int, world_size: int) -> list[slice]:
@@ -27,6 +63,26 @@ def column_slices(dim: int, world_size: int) -> list[slice]:
         slices.append(slice(start, start + width))
         start += width
     return slices
+
+
+def _merge_unions(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Sorted-unique union of two sorted-unique index sets (vectorized)."""
+    merged = sorted_union([a, b])
+    # Micro-assert: the density decision and presence masks both assume
+    # the merged set stays sorted-unique at every hop.
+    assert merged.size == 0 or bool(np.all(np.diff(merged) > 0)), (
+        "merged index union is not sorted-unique"
+    )
+    return merged
+
+
+def _crossed(union_size: int, num_rows: int, dense_switch: float) -> bool:
+    """True once the merged index set reaches the density threshold."""
+    return (
+        dense_switch < 1.0
+        and num_rows > 0
+        and union_size >= dense_switch * num_rows
+    )
 
 
 @traced_collective("allgather_sparse")
@@ -44,60 +100,299 @@ def allreduce_sparse_via_allgather(comm: Communicator, grad: SparseRows) -> Spar
     """Sum of all ranks' sparse gradients, coalesced, rank-ordered.
 
     Each rank's gradient is coalesced locally before the exchange (as
-    PyTorch does when serializing sparse tensors), and parts are summed
-    in rank order — so any strategy summing the same per-rank gradients
-    with the same local-coalesce-then-rank-order grouping produces
-    bit-identical results.
+    PyTorch does when serializing sparse tensors), then the parts merge
+    through :meth:`~repro.tensors.SparseRows.merge_coalesced` — per row,
+    contributions accumulate left-to-right in rank order.  That merge is
+    *the* canonical cross-rank grouping: any strategy summing the same
+    per-rank gradients the same way produces bit-identical results.
     """
     parts = allgather_sparse(comm, grad.coalesce())
-    return SparseRows.concat(parts).coalesce()
+    first = parts[0]
+    return SparseRows.merge_coalesced(
+        [(p.indices, p.values) for p in parts],
+        first.num_rows,
+        first.dim,
+        dtype=first.values.dtype,
+    )
+
+
+@traced_collective("allreduce_sparse_adaptive")
+def allreduce_sparse_adaptive(
+    comm: Communicator,
+    grad: SparseRows,
+    *,
+    dense_switch: float = 1.0,
+    arena: BufferArena | None = None,
+) -> SparseRows:
+    """Adaptive sparse allreduce: recursive doubling + stream splitting.
+
+    Power-of-two worlds run ``log2(N)`` hops of recursive doubling:
+    each hop exchanges the accumulated rank-ordered part list with the
+    partner block and merges (the index union is tracked vectorized via
+    :func:`np.union1d`).  Once the union's density reaches
+    ``dense_switch`` (SparCML's stream split; searchable as
+    ``SchedKnobs.dense_switch_density``), the remaining hops carry a
+    dense ``(num_rows, dim)`` accumulator plus a presence mask — the
+    mask keeps the result's index set exact, so rows whose contributions
+    sum to zero stay present.  Non-power-of-two worlds fall back to the
+    ring-allgather reference.
+
+    With ``dense_switch=1.0`` the result is bit-identical to
+    :func:`allreduce_sparse_via_allgather`; densified hops are
+    ``allclose``-exact (module docstring).
+    """
+    if not 0.0 <= dense_switch <= 1.0:
+        raise ValueError(f"dense_switch must be in [0, 1], got {dense_switch!r}")
+    grad = grad.coalesce()
+    world, rank = comm.world_size, comm.rank
+    if world == 1:
+        return grad
+    if world & (world - 1):  # non-power-of-two: reference ring allgather
+        return allreduce_sparse_via_allgather(comm, grad)
+    if arena is None:
+        arena = default_arena()
+    num_rows, dim = grad.num_rows, grad.dim
+    vdtype = grad.values.dtype
+    taken: list[np.ndarray] = []  # every arena buffer, returned at the end
+
+    def _take(shape, dtype) -> np.ndarray:
+        buf = arena.take(shape, dtype)
+        taken.append(buf)
+        return buf
+
+    # Sparse state: locally-coalesced (indices, values) parts in rank
+    # order, plus the sorted-unique union of their indices.
+    parts: list[tuple[np.ndarray, np.ndarray]] = [(grad.indices, grad.values)]
+    union = grad.indices
+    acc = mask = None  # dense state, once switched
+
+    def _densify_into(target, pairs) -> None:
+        """Scatter-add coalesced parts in list order (= rank order)."""
+        for p_idx, p_vals in pairs:
+            target[p_idx] += p_vals  # indices unique within a part
+
+    def _switch_dense() -> None:
+        nonlocal acc, mask, parts
+        acc = _take((num_rows, dim), vdtype)
+        mask = _take(num_rows, np.bool_)
+        acc[...] = 0
+        mask[...] = False
+        _densify_into(acc, parts)
+        mask[union] = True
+        parts = []
+
+    if _crossed(len(union), num_rows, dense_switch):
+        _switch_dense()
+
+    hop = 1
+    while hop < world:
+        partner = rank ^ hop
+        i_am_low = not (rank & hop)  # my block covers the lower rank range
+        if acc is None:
+            msg = (
+                _SPARSE_PART,
+                [(comm.snapshot(i), comm.snapshot(v)) for i, v in parts],
+                comm.snapshot(union),
+            )
+        else:
+            msg = (_DENSE_PART, comm.snapshot(acc), comm.snapshot(mask))
+        comm.send(partner, msg)
+        theirs = comm.recv_view(partner)
+        # On snapshot-free transports the received arrays may alias
+        # transport memory that dies at the next comm call — copy those
+        # into arena scratch; elsewhere the arrays are already owned.
+        owned = not comm.SEND_SNAPSHOTS
+
+        if acc is None and theirs[0] == _SPARSE_PART:
+            _, their_parts, their_union = theirs
+            if not owned:
+                copied = []
+                for p_idx, p_vals in their_parts:
+                    c_idx = _take(len(p_idx), np.int64)
+                    c_vals = _take(p_vals.shape, vdtype)
+                    c_idx[...] = p_idx
+                    c_vals[...] = p_vals
+                    copied.append((c_idx, c_vals))
+                their_parts = copied
+                their_union = np.asarray(their_union).copy()
+            parts = parts + their_parts if i_am_low else their_parts + parts
+            union = _merge_unions(union, np.asarray(their_union))
+            if _crossed(len(union), num_rows, dense_switch):
+                _switch_dense()
+        else:
+            if acc is None:
+                _switch_dense()
+            if theirs[0] == _SPARSE_PART:
+                _, their_parts, their_union = theirs
+                p_acc = _take((num_rows, dim), vdtype)
+                p_mask = _take(num_rows, np.bool_)
+                p_acc[...] = 0
+                p_mask[...] = False
+                _densify_into(p_acc, their_parts)
+                p_mask[np.asarray(their_union)] = True
+            else:
+                _, p_acc, p_mask = theirs  # consumed before the next hop
+            if i_am_low:
+                np.add(acc, p_acc, out=acc)
+            else:
+                np.add(p_acc, acc, out=acc)
+            np.logical_or(mask, np.asarray(p_mask), out=mask)
+        hop *= 2
+
+    if acc is not None:
+        out_idx = np.flatnonzero(mask)
+        out_vals = acc[out_idx]  # fancy index: fresh, caller-owned
+        arena.put(*taken)
+        return SparseRows(out_idx, out_vals, num_rows, coalesced=True)
+
+    if sum(len(i) for i, _ in parts) == 0:
+        arena.put(*taken)
+        return grad  # every rank was empty; grad is the coalesced empty
+    # The union was tracked hop by hop, so the finish is a straight
+    # merge of the sorted per-rank runs (bit-identical to the
+    # rank-ordered concat + coalesce, several times cheaper).
+    result = SparseRows.merge_coalesced(
+        parts, num_rows, dim, dtype=vdtype, union=union
+    )
+    arena.put(*taken)
+    return result
 
 
 @traced_collective("alltoall_column_shards")
 def alltoall_column_shards(
-    comm: Communicator, grad: SparseRows
+    comm: Communicator,
+    grad: SparseRows,
+    *,
+    dense_switch: float = 1.0,
+    arena: BufferArena | None = None,
 ) -> SparseRows:
     """EmbRace gradient exchange: return this rank's column shard of the
     globally-summed sparse gradient.
 
-    Each rank slices its local gradient by owner columns and AlltoAlls
-    the slices; the received slices (all covering this rank's columns)
-    are concatenated in rank order and coalesced.  The result's ``dim``
-    is this rank's shard width.
+    Each rank slices its local gradient by owner columns and sends each
+    peer its slice as raw ``(indices, block)`` frames — no tuple
+    re-pickling, no intermediate copies: received parts stay pinned
+    transport views (``recv_view_pinned``) and the rank-ordered merge
+    reads them straight out of the sender's shared-memory segments.
+    The result's ``dim`` is this rank's shard width.
 
     The local gradient is coalesced before slicing so that every
-    strategy sums per-row contributions with identical grouping
-    (local pre-sum, then rank order).
+    strategy sums per-row contributions with identical grouping (local
+    pre-sum, then rank order).  Outgoing value blocks are *strided
+    views* of the coalesced gradient — the frame layer packs them only
+    at byte capture, fusing the pack into the wire copy.
 
-    When every shard has the same width, packing is one pass: a single
-    ``(nnz, world, width) -> (world, nnz, width)`` axis-swap copy lays
-    out every destination's C-contiguous block back to back — one
-    allocation instead of a strided copy per destination, and receivers
-    get contiguous values with no fix-up.  Uneven shard widths (``dim``
-    not divisible by ``world``) fall back to per-slice copies.
+    A rank whose local density has already crossed ``dense_switch``
+    sends dense ``(block, presence mask)`` column slices instead — the
+    row index vector disappears from the wire and the receiver skips
+    the giant coalesce (SparCML's stream split applied to the AlltoAll;
+    only worth it near density 1).  Messages are self-describing, so
+    densities may differ per rank.  ``dense_switch=1.0`` never
+    densifies and stays bit-identical to the historical path.
     """
+    if not 0.0 <= dense_switch <= 1.0:
+        raise ValueError(f"dense_switch must be in [0, 1], got {dense_switch!r}")
     grad = grad.coalesce()
-    slices = column_slices(grad.dim, comm.world_size)
-    widths = {s.stop - s.start for s in slices}
-    if len(widths) == 1 and grad.dim == len(slices) * next(iter(widths)):
-        width = next(iter(widths))
-        blocks = np.ascontiguousarray(
-            grad.values.reshape(-1, len(slices), width).swapaxes(0, 1)
-        )
-        outgoing = [
-            (grad.indices, blocks[dst], grad.num_rows)
-            for dst in range(len(slices))
-        ]
+    world, rank = comm.world_size, comm.rank
+    if world == 1:
+        return grad
+    if arena is None:
+        arena = default_arena()
+    slices = column_slices(grad.dim, world)
+    my_width = slices[rank].stop - slices[rank].start
+    num_rows, n = grad.num_rows, len(grad.indices)
+    vdtype = grad.values.dtype
+    taken: list[np.ndarray] = []
+
+    def _take(shape, dtype) -> np.ndarray:
+        buf = arena.take(shape, dtype)
+        taken.append(buf)
+        return buf
+
+    # -- pack & send ---------------------------------------------------- #
+    dense_send = _crossed(n, num_rows, dense_switch)
+    if dense_send:
+        send_mask = _take(num_rows, np.bool_)
+        send_mask[...] = False
+        send_mask[grad.indices] = True
+        for dst in range(world):
+            if dst == rank:
+                continue
+            block = _take((num_rows, slices[dst].stop - slices[dst].start), vdtype)
+            block[...] = 0
+            block[grad.indices] = grad.values[:, slices[dst]]
+            comm.send(
+                dst, (_DENSE_PART, comm.snapshot(block), comm.snapshot(send_mask))
+            )
+        own_block = _take((n, my_width), vdtype)
+        own_block[...] = grad.values[:, slices[rank]]
     else:
-        outgoing = [
-            (grad.indices, np.ascontiguousarray(grad.values[:, s]), grad.num_rows)
-            for s in slices
-        ]
-    received = comm.alltoall(outgoing)
-    parts = [
-        SparseRows(idx, vals, rows, coalesced=False) for idx, vals, rows in received
-    ]
-    return SparseRows.concat(parts).coalesce()
+        # Column slices go out as strided views: the frame layer packs
+        # them at byte capture (shm gathers straight into the segment;
+        # the queue path packs while pickling), so there is no separate
+        # pack copy.  ``snapshot`` is the identity there; transports
+        # that defer capture copy here instead.
+        for dst in range(world):
+            if dst == rank:
+                continue
+            comm.send(
+                dst,
+                (_SPARSE_PART, grad.indices, comm.snapshot(grad.values[:, slices[dst]])),
+            )
+        own_block = grad.values[:, slices[rank]]
+
+    # -- receive & merge straight from transport memory ------------------ #
+    # Received sparse parts stay *pinned views* of transport-owned memory
+    # (on shm: the sender's pooled segment) until the merge has consumed
+    # them, so each incoming byte is copied exactly once — into the
+    # merged result.  A mid-stream switch to dense replays the parts
+    # collected so far in rank order.
+    parts: list[tuple[np.ndarray, np.ndarray]] = []
+    acc = mask = None
+
+    def _switch_dense() -> None:
+        nonlocal acc, mask
+        acc = _take((num_rows, my_width), vdtype)
+        mask = _take(num_rows, np.bool_)
+        acc[...] = 0
+        mask[...] = False
+        for p_idx, p_vals in parts:
+            acc[p_idx] += p_vals  # unique within a part; rank order
+            mask[p_idx] = True
+
+    try:
+        for src in range(world):
+            if src == rank:
+                part = (_SPARSE_PART, grad.indices, own_block)
+            else:
+                part = comm.recv_view_pinned(src)
+            if part[0] == _SPARSE_PART:
+                p_idx = np.asarray(part[1])
+                p_vals = np.asarray(part[2]).reshape(len(p_idx), my_width)
+                if acc is None:
+                    parts.append((p_idx, p_vals))
+                else:
+                    acc[p_idx] += p_vals  # unique within a part; rank order
+                    mask[p_idx] = True
+            else:
+                if acc is None:
+                    _switch_dense()
+                _, p_block, p_mask = part
+                np.add(acc, np.asarray(p_block), out=acc)
+                np.logical_or(mask, np.asarray(p_mask), out=mask)
+
+        if acc is not None:
+            out_idx = np.flatnonzero(mask)
+            out_vals = acc[out_idx]
+            return SparseRows(out_idx, out_vals, num_rows, coalesced=True)
+        # Every received part is a coalesced (sorted-unique) run: merge
+        # the runs directly instead of sorting their concatenation —
+        # bit-identical, and it skips the argsort + reduceat that
+        # dominated the step.
+        return SparseRows.merge_coalesced(parts, num_rows, my_width, dtype=vdtype)
+    finally:
+        comm.release_views()
+        arena.put(*taken)
 
 
 @traced_collective("alltoall_lookup_results")

@@ -83,16 +83,24 @@ class EmbraceTableRuntime:
         return vertical_split(grad, current_ids, next_ids)
 
     def exchange(
-        self, comm: Communicator, part: SparseRows, scale: float = 1.0
+        self,
+        comm: Communicator,
+        part: SparseRows,
+        scale: float = 1.0,
+        dense_switch: float = 1.0,
     ) -> SparseRows:
         """AlltoAll one split part into this rank's scaled column shard.
 
         Takes the communicator explicitly so the same code runs inline
         (``self.comm``) or inside a scheduled work item on its channel
         communicator; the arithmetic — exchange then scale — is
-        identical either way.
+        identical either way.  ``dense_switch`` forwards
+        ``SchedKnobs.dense_switch_density`` to the collective's adaptive
+        dense path (1.0 = historical bit-exact sparse wire format).
         """
-        return alltoall_column_shards(comm, part).scale(scale)
+        return alltoall_column_shards(
+            comm, part, dense_switch=dense_switch
+        ).scale(scale)
 
     def apply_part(self, shard_grad: SparseRows, final: bool) -> None:
         """Modified-Adam shard update for one exchanged part.

@@ -50,11 +50,11 @@ from repro.comm import (
     Communicator,
     ProcessGroup,
     SchedComm,
-    allreduce_sparse_via_allgather,
+    allreduce_sparse_adaptive,
     alltoall_column_shards,
     run_threaded,
 )
-from repro.comm.sched import DEFAULT_BUCKET_ELEMS, SchedKnobs
+from repro.comm.sched import DEFAULT_BUCKET_ELEMS, PRIORITY_URGENT, SchedKnobs
 from repro.obs import (
     SpanRecorder,
     TraceBundle,
@@ -618,7 +618,22 @@ class RealTrainer:
                 if self.strategy == "allgather":
                     for name, table in tables.items():
                         grad = table.weight.grad
-                        summed = allreduce_sparse_via_allgather(coll, grad)
+                        # Adaptive recursive-doubling allgather; with the
+                        # default knob (dense_switch_density=1.0) the
+                        # result is bit-identical to the historical
+                        # allreduce_sparse_via_allgather path.  Submitted
+                        # as one urgent work item: the collective's
+                        # point-to-point hops must run on the scheduler's
+                        # channel communicator, not the facade.
+                        summed = sched.submit(
+                            lambda c, g=grad: allreduce_sparse_adaptive(
+                                c,
+                                g,
+                                dense_switch=self.knobs.dense_switch_density,
+                            ),
+                            priority=PRIORITY_URGENT,
+                            label=f"sparse:{name}",
+                        ).wait()
                         table.weight.grad = summed.scale(1.0 / comm.world_size)
                 elif self.strategy == "allreduce":
                     # Densified path: the full table travels, zeros included.
@@ -897,13 +912,18 @@ class RealTrainer:
                 # same bias-correction step and rows stay disjoint, so
                 # prior-of-everything ≡ prior+delayed (see SchedKnobs).
                 prior, delayed = rt.split(grad, current_ids, None)
+            dense_switch = self.knobs.dense_switch_density
             prior_h = sched.submit(
-                lambda c, g=prior, rt=rt: rt.exchange(c, g, inv_world),
+                lambda c, g=prior, rt=rt: rt.exchange(
+                    c, g, inv_world, dense_switch
+                ),
                 priority=PRIORITY_PRIOR,
                 label=f"prior:{name}",
             )
             delayed_h = sched.submit(
-                lambda c, g=delayed, rt=rt: rt.exchange(c, g, inv_world),
+                lambda c, g=delayed, rt=rt: rt.exchange(
+                    c, g, inv_world, dense_switch
+                ),
                 priority=PRIORITY_DELAYED,
                 label=f"delayed:{name}",
             )

@@ -148,8 +148,10 @@ def scrape_counters(comm, recorder) -> None:
     Walks the wrapper chain collecting each layer's
     ``transport_counters()`` (segment-pool hit rate, attachment counts)
     and any fault injector's :class:`~repro.faults.inject.InjectionStats`
-    as ``faults.*`` counters.  Zero hot-path cost: everything here is
-    already tracked by the transport for its own purposes.
+    as ``faults.*`` counters, then folds in the sparse collectives'
+    buffer-arena hit/miss/fallback counts (``arena.*``).  Zero hot-path
+    cost: everything here is already tracked by the transport and arena
+    for their own purposes.
     """
     layer = comm
     while layer is not None:
@@ -162,6 +164,10 @@ def scrape_counters(comm, recorder) -> None:
             for name, value in stats.as_dict().items():
                 recorder.count(f"faults.{name}", float(value))
         layer = getattr(layer, "_inner", None)
+    from repro.comm.arena import arena_counters  # local: avoid cycle
+
+    for name, value in arena_counters().items():
+        recorder.count(name, float(value))
 
 
 def gather_spans(comm, recorder, finalize: bool = True) -> TraceBundle | None:

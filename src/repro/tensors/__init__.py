@@ -7,7 +7,7 @@ reimplements the subset of COO semantics the paper relies on —
 prior/delayed parts), and dense scatter-add application.
 """
 
-from repro.tensors.coo import SparseRows
+from repro.tensors.coo import SparseRows, sorted_union
 from repro.tensors.dense import TensorSpec
 from repro.tensors.ops import (
     rows_intersect,
@@ -18,6 +18,7 @@ from repro.tensors.ops import (
 
 __all__ = [
     "SparseRows",
+    "sorted_union",
     "TensorSpec",
     "rows_intersect",
     "rows_setdiff",

@@ -54,6 +54,8 @@ class Candidate:
         ]
         if k.delayed_min_rows:
             parts.append(f"fold<{k.delayed_min_rows}")
+        if k.dense_switch_density < 1.0:
+            parts.append(f"dense<{k.dense_switch_density:g}")
         if self.transport:
             parts.append(self.transport)
         return " ".join(parts)
@@ -67,13 +69,15 @@ class SearchSpace:
     max_chunks: tuple[int, ...] = (4, 8, 16)
     bucket_elems: tuple[int, ...] = (65_536, 262_144)
     delayed_min_rows: tuple[int, ...] = (0,)
+    dense_switch_density: tuple[float, ...] = (1.0,)
     strategy: tuple[str, ...] = ("embrace",)
     transport: tuple[str | None, ...] = (None,)
 
     def __post_init__(self):
         for name in (
             "chunk_elems", "max_chunks", "bucket_elems",
-            "delayed_min_rows", "strategy", "transport",
+            "delayed_min_rows", "dense_switch_density", "strategy",
+            "transport",
         ):
             if not getattr(self, name):
                 raise ValueError(f"SearchSpace.{name} must be non-empty")
@@ -91,15 +95,17 @@ class SearchSpace:
         """The grid in deterministic (itertools.product) order; knob
         validation happens in each :class:`~repro.comm.SchedKnobs`."""
         out = []
-        for ce, mc, be, dm, st, tr in itertools.product(
+        for ce, mc, be, dm, ds, st, tr in itertools.product(
             self.chunk_elems, self.max_chunks, self.bucket_elems,
-            self.delayed_min_rows, self.strategy, self.transport,
+            self.delayed_min_rows, self.dense_switch_density,
+            self.strategy, self.transport,
         ):
             out.append(
                 Candidate(
                     knobs=SchedKnobs(
                         chunk_elems=ce, max_chunks=mc,
                         bucket_elems=be, delayed_min_rows=dm,
+                        dense_switch_density=ds,
                     ),
                     strategy=st,
                     transport=tr,
@@ -375,8 +381,14 @@ def predict_candidate(
         elif candidate.strategy == "allgather":
             for t in workload.tables:
                 sp = f"sparse:{i}:{t.name}"
+                # The adaptive collective's densified hops never ship
+                # more than the dense representation, so the searchable
+                # dense_switch_density caps the priced payload there.
+                sparse_b = t.coalesced_bytes
+                if k.dense_switch_density < 1.0:
+                    sparse_b = min(sparse_b, t.dense_bytes)
                 g.add_task(
-                    sp, cost.allgather(t.coalesced_bytes).seconds,
+                    sp, cost.allgather(sparse_b).seconds,
                     resource="comm", kind="comm",
                     priority=PRIORITY_URGENT, deps=[fwd],
                 )

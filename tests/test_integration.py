@@ -44,8 +44,15 @@ class TestEmbraceTableRuntime:
                 runtime.apply_gradient(
                     grads[comm.rank], ids, ids, scale=1.0 / comm.world_size
                 )
-                # Fused reference: sum all ranks' grads, one update.
-                total = SparseRows.concat([g.coalesce() for g in grads]).coalesce()
+                # Fused reference: sum all ranks' grads (the canonical
+                # rank-ordered merge the collectives produce), one update.
+                cparts = [g.coalesce() for g in grads]
+                total = SparseRows.merge_coalesced(
+                    [(p.indices, p.values) for p in cparts],
+                    vocab,
+                    dim,
+                    dtype=cparts[0].values.dtype,
+                )
                 reference.grad = total.scale(1.0 / comm.world_size)
                 ref_opt.step()
                 reference.zero_grad()

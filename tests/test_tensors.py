@@ -11,6 +11,7 @@ from repro.tensors import (
     rows_intersect,
     rows_setdiff,
     scatter_add_rows,
+    sorted_union,
     unique_rows,
 )
 
@@ -177,6 +178,49 @@ class TestCoalesce:
         assert s.density == 0.2  # 2 distinct of 10
         assert s._distinct_rows == 2  # computed once, then cached
         assert s.coalesce().density == 0.2
+
+    def test_bit_identical_to_reduceat_randomized(self):
+        """The grouped fast path (vectorized 1/2/3/4-row groups + per-group
+        reduceat for larger ones) pins reduceat's fold order empirically;
+        every output must be bit-identical to one full reduceat pass,
+        across dup-light and dup-heavy inputs, both float dtypes."""
+        rng = np.random.default_rng(17)
+        for _ in range(150):
+            rows = int(rng.integers(1, 300))
+            n = int(rng.integers(0, 1500))
+            lim = max(1, int(rows * rng.choice([0.02, 0.2, 1.0])))
+            idx = rng.integers(0, min(lim, rows), size=n)
+            dim = int(rng.integers(1, 9))
+            vals = (
+                rng.normal(size=(n, dim)) * 10.0 ** rng.integers(-8, 8, size=(n, 1))
+            ).astype(rng.choice([np.float32, np.float64]))
+            c = SparseRows(idx, vals, rows).coalesce()
+            if n == 0:
+                assert c.nnz_rows == 0
+                continue
+            order = np.argsort(idx, kind="stable")
+            si = idx[order]
+            starts = np.flatnonzero(np.r_[True, si[1:] != si[:-1]])
+            ref = np.add.reduceat(vals[order], starts, axis=0)
+            np.testing.assert_array_equal(c.indices, si[starts])
+            np.testing.assert_array_equal(c.values, ref)
+
+    def test_sorted_union_matches_unique(self):
+        rng = np.random.default_rng(23)
+        for _ in range(80):
+            parts = [
+                np.unique(rng.integers(0, 500, size=int(rng.integers(0, 200))))
+                for _ in range(int(rng.integers(0, 5)))
+            ]
+            got = sorted_union(parts)
+            total = sum(len(p) for p in parts)
+            ref = (
+                np.unique(np.concatenate(parts))
+                if parts and total
+                else np.empty(0, np.int64)
+            )
+            np.testing.assert_array_equal(got, ref)
+            assert got.dtype == np.int64 or total == 0
 
 
 class TestIndexSelectAndSplit:
