@@ -19,6 +19,7 @@ required transport baseline):
 * ``BENCH_sched.json`` — :mod:`benchmarks.bench_sched`
 * ``BENCH_tune.json``  — :mod:`benchmarks.bench_tune`
 * ``BENCH_serve.json`` — :mod:`benchmarks.bench_serve`
+* ``BENCH_placement.json`` — :mod:`benchmarks.bench_placement`
 
 Run:  python benchmarks/check_comm_regression.py [--baseline BENCH_comm.json]
 """
@@ -35,6 +36,9 @@ DEFAULT_BASELINE = os.path.join(HERE, os.pardir, "BENCH_comm.json")
 DEFAULT_SCHED_BASELINE = os.path.join(HERE, os.pardir, "BENCH_sched.json")
 DEFAULT_TUNE_BASELINE = os.path.join(HERE, os.pardir, "BENCH_tune.json")
 DEFAULT_SERVE_BASELINE = os.path.join(HERE, os.pardir, "BENCH_serve.json")
+DEFAULT_PLACEMENT_BASELINE = os.path.join(
+    HERE, os.pardir, "BENCH_placement.json"
+)
 
 
 def load_baseline(path: str) -> dict | None:
@@ -212,12 +216,44 @@ def check_serve(baseline_path: str, tolerance: float) -> list[str]:
     return gate(baseline, tolerance, measure_fn, render, absolute_checks)
 
 
+def check_placement(baseline_path: str, tolerance: float) -> list[str]:
+    """Gate the hybrid-placement baseline: sparse-AlltoAll and lookup
+    wire-byte reduction floors, plus bench_placement's absolute criteria
+    (>= 30% sparse-wire reduction at the learned 1% hot set,
+    bit-identical losses, zero torn batches, at least one live
+    re-partition, and every served batch equal to the offline snapshot
+    at its version)."""
+    baseline = load_baseline(baseline_path)
+    if baseline is None:
+        return []
+
+    from bench_placement import absolute_checks, measure, render
+
+    def measure_fn(meta):
+        return measure(
+            world=meta["world"],
+            vocab=meta["config"]["vocab"],
+            dim=meta["config"]["dim"],
+            train_steps=meta["train_steps"],
+            clients=meta["clients"],
+            requests_per_client=meta["requests_per_client"],
+            hot_fraction=meta["hot_fraction"],
+            repartition_interval=meta["repartition_interval"],
+            backend=meta["backend"],
+        )
+
+    return gate(baseline, tolerance, measure_fn, render, absolute_checks)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
     parser.add_argument("--sched-baseline", default=DEFAULT_SCHED_BASELINE)
     parser.add_argument("--tune-baseline", default=DEFAULT_TUNE_BASELINE)
     parser.add_argument("--serve-baseline", default=DEFAULT_SERVE_BASELINE)
+    parser.add_argument(
+        "--placement-baseline", default=DEFAULT_PLACEMENT_BASELINE
+    )
     parser.add_argument(
         "--skip-sched", action="store_true",
         help="skip the scheduler-stall gate",
@@ -229,6 +265,10 @@ def main() -> int:
     parser.add_argument(
         "--skip-serve", action="store_true",
         help="skip the serving latency/QPS gate",
+    )
+    parser.add_argument(
+        "--skip-placement", action="store_true",
+        help="skip the hybrid-placement wire-bytes gate",
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.30,
@@ -259,6 +299,9 @@ def main() -> int:
     if not args.skip_serve:
         print()
         failures += check_serve(args.serve_baseline, args.tolerance)
+    if not args.skip_placement:
+        print()
+        failures += check_placement(args.placement_baseline, args.tolerance)
     if failures:
         print("\nFAIL:", *failures, sep="\n  ")
         return 1

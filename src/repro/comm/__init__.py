@@ -41,6 +41,7 @@ from repro.comm.sched import (
 )
 from repro.comm.sparse import (
     allgather_sparse,
+    allreduce_hot_rows,
     allreduce_sparse_adaptive,
     allreduce_sparse_via_allgather,
     alltoall_column_shards,
@@ -74,6 +75,7 @@ __all__ = [
     "PRIORITY_URGENT",
     "dense_chunk_bounds",
     "allgather_sparse",
+    "allreduce_hot_rows",
     "allreduce_sparse_adaptive",
     "allreduce_sparse_via_allgather",
     "alltoall_column_shards",

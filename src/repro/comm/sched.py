@@ -122,6 +122,15 @@ class SchedKnobs:
     bit-for-bit; below 1.0 the densified tail is documented
     ``allclose``-exact (the dense accumulator's ``0.0 + x`` identity
     only rewrites ``-0.0`` to ``+0.0``).
+
+    ``hot_fraction`` / ``repartition_interval`` drive hybrid hot/cold
+    placement (:mod:`repro.placement`): every ``repartition_interval``
+    committed steps the trainer's drift monitor promotes the hottest
+    ``round(hot_fraction * vocab)`` rows of each embedding table to the
+    replicated dense lane and demotes the rest — bit-exact mid-training,
+    so like every other knob these only move bytes, never arithmetic.
+    ``0.0`` / ``0`` (the defaults) keep uniform column sharding unless
+    an explicit ``placement=`` plan is passed.
     """
 
     chunk_elems: int = DEFAULT_CHUNK_ELEMS
@@ -129,6 +138,8 @@ class SchedKnobs:
     bucket_elems: int = DEFAULT_BUCKET_ELEMS
     delayed_min_rows: int = 0
     dense_switch_density: float = 1.0
+    hot_fraction: float = 0.0
+    repartition_interval: int = 0
 
     def __post_init__(self):
         if not isinstance(self.chunk_elems, int) or self.chunk_elems <= 0:
@@ -156,6 +167,23 @@ class SchedKnobs:
             raise ValueError(
                 f"dense_switch_density must be a float in [0, 1], "
                 f"got {self.dense_switch_density!r}"
+            )
+        if (
+            not isinstance(self.hot_fraction, (int, float))
+            or isinstance(self.hot_fraction, bool)
+            or not 0.0 <= self.hot_fraction <= 1.0
+        ):
+            raise ValueError(
+                f"hot_fraction must be a float in [0, 1], "
+                f"got {self.hot_fraction!r}"
+            )
+        if (
+            not isinstance(self.repartition_interval, int)
+            or self.repartition_interval < 0
+        ):
+            raise ValueError(
+                f"repartition_interval must be an int >= 0, "
+                f"got {self.repartition_interval!r}"
             )
 
     def to_dict(self) -> dict:

@@ -39,6 +39,8 @@ compute, not wire, and allocates normally.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.comm.arena import BufferArena, default_arena
@@ -265,6 +267,8 @@ def alltoall_column_shards(
     *,
     dense_switch: float = 1.0,
     arena: BufferArena | None = None,
+    table: str | None = None,
+    shards: list[slice] | None = None,
 ) -> SparseRows:
     """EmbRace gradient exchange: return this rank's column shard of the
     globally-summed sparse gradient.
@@ -289,11 +293,33 @@ def alltoall_column_shards(
     only worth it near density 1).  Messages are self-describing, so
     densities may differ per rank.  ``dense_switch=1.0`` never
     densifies and stays bit-identical to the historical path.
+
+    ``table`` (optional) labels this exchange's sent bytes with the
+    owning table (``wire_bytes.alltoall_sparse`` and
+    ``wire_bytes.table.<name>`` counters) so placement studies can
+    attribute traffic per table.  ``shards`` — an explicit per-call
+    column partition — is a deprecated shim: the partition is a
+    property of the table's :class:`~repro.placement.TablePlacement`
+    now, and only the uniform :func:`column_slices` partition was ever
+    supported.
     """
     if not 0.0 <= dense_switch <= 1.0:
         raise ValueError(f"dense_switch must be in [0, 1], got {dense_switch!r}")
     grad = grad.coalesce()
     world, rank = comm.world_size, comm.rank
+    if shards is not None:
+        warnings.warn(
+            "alltoall_column_shards(shards=...) is deprecated; the column "
+            "partition comes from the table's placement "
+            "(repro.placement.uniform_column_sharding by default)",
+            DeprecationWarning,
+            stacklevel=3,  # through the traced_collective wrapper
+        )
+        if list(shards) != column_slices(grad.dim, world):
+            raise ValueError(
+                "non-uniform explicit shards are not supported; express row "
+                "skew as a hot set via repro.placement.PlacementPlan instead"
+            )
     if world == 1:
         return grad
     if arena is None:
@@ -340,6 +366,18 @@ def alltoall_column_shards(
                 (_SPARSE_PART, grad.indices, comm.snapshot(grad.values[:, slices[dst]])),
             )
         own_block = grad.values[:, slices[rank]]
+
+    obs = comm.obs
+    if obs.enabled:
+        itemsize = np.dtype(vdtype).itemsize
+        peer_cols = grad.dim - my_width  # value columns leaving this rank
+        if dense_send:
+            sent = (world - 1) * num_rows + num_rows * peer_cols * itemsize
+        else:
+            sent = (world - 1) * grad.indices.nbytes + n * peer_cols * itemsize
+        obs.count("wire_bytes.alltoall_sparse", float(sent))
+        if table is not None:
+            obs.count(f"wire_bytes.table.{table}", float(sent))
 
     # -- receive & merge straight from transport memory ------------------ #
     # Received sparse parts stay *pinned views* of transport-owned memory
@@ -421,6 +459,12 @@ def alltoall_lookup_results(
         np.ascontiguousarray(shard_lookup[offsets[j] : offsets[j + 1]])
         for j in range(comm.world_size)
     ]
+    obs = comm.obs
+    if obs.enabled:
+        sent = sum(
+            outgoing[j].nbytes for j in range(comm.world_size) if j != comm.rank
+        )
+        obs.count("wire_bytes.lookup", float(sent))
     received = comm.alltoall(outgoing)
     for j, block in enumerate(received):
         if len(block) != own_count:
@@ -428,3 +472,128 @@ def alltoall_lookup_results(
                 f"rank {comm.rank}: expected {own_count} rows from rank {j}, got {len(block)}"
             )
     return np.concatenate(received, axis=1)
+
+
+@traced_collective("allreduce_hot_rows")
+def allreduce_hot_rows(
+    comm: Communicator,
+    hot_ids: np.ndarray,
+    grad: SparseRows,
+    *,
+    table: str | None = None,
+    arena: BufferArena | None = None,
+) -> SparseRows:
+    """Dense-lane exchange of a *replicated hot row set*'s gradients.
+
+    ``hot_ids`` (sorted, unique, identical on every rank — the table's
+    :class:`~repro.placement.TablePlacement` hot set) positions the
+    exchange; ``grad`` holds this rank's contributions, whose rows must
+    all be hot.  Returns the full-dimension cross-rank sum over the
+    union of contributing rows.
+
+    The shape is an AllReduce folded with a presence mask, bucketed the
+    same way the dense lane buckets chunks: the hot positions are
+    partitioned into one contiguous range per owner rank
+    (:func:`column_slices` reused as row ranges), each rank AlltoAlls
+    every peer its (mask, present-rows block) slice of each range, the
+    range owner merges the per-rank parts **in rank order with
+    mask-driven assign-then-add** — exactly
+    :meth:`~repro.tensors.SparseRows.merge_coalesced`'s grouping — and
+    an AllGather replicates the merged ranges.  Because that per-row
+    grouping is the canonical one and column slicing commutes with
+    row-wise assign/add, the result equals the
+    :func:`alltoall_column_shards` shards of the same rows concatenated
+    — **bit for bit**, which is what keeps hybrid placement loss-exact.
+
+    Sent bytes are tallied as ``wire_bytes.hot_lane`` plus
+    ``wire_bytes.table.<name>`` when ``table`` is given, so the
+    replicated-row dense traffic is attributed to its owning table.
+    """
+    grad = grad.coalesce()
+    hot_ids = np.asarray(hot_ids, dtype=np.int64)
+    n_hot = len(hot_ids)
+    world, rank = comm.world_size, comm.rank
+    if len(grad.indices):
+        pos = np.searchsorted(hot_ids, grad.indices)
+        if pos.size and (
+            pos.max(initial=0) >= n_hot
+            or not np.array_equal(hot_ids[pos], grad.indices)
+        ):
+            raise ValueError("allreduce_hot_rows: gradient has non-hot rows")
+    else:
+        pos = np.empty(0, dtype=np.int64)
+    if world == 1 or n_hot == 0:
+        return grad
+    if arena is None:
+        arena = default_arena()
+    num_rows, dim = grad.num_rows, grad.dim
+    vdtype = grad.values.dtype
+    itemsize = np.dtype(vdtype).itemsize
+    ranges = column_slices(n_hot, world)  # hot *positions*, one range/rank
+    taken: list[np.ndarray] = []
+
+    def _take(shape, dtype) -> np.ndarray:
+        buf = arena.take(shape, dtype)
+        taken.append(buf)
+        return buf
+
+    # -- reduce-scatter: slice my contribution per owner range ----------- #
+    outgoing: list[tuple[np.ndarray, np.ndarray]] = []
+    sent = 0
+    for dst in range(world):
+        lo, hi = ranges[dst].start, ranges[dst].stop
+        a, b = np.searchsorted(pos, (lo, hi))
+        mask = _take(hi - lo, np.bool_)
+        mask[...] = False
+        mask[pos[a:b] - lo] = True
+        block = grad.values[a:b]  # contiguous row run of the coalesced grad
+        outgoing.append((comm.snapshot(mask), comm.snapshot(block)))
+        if dst != rank:
+            sent += mask.nbytes + block.nbytes
+    received = comm.alltoall(outgoing)
+
+    # -- owner merge: rank order, mask-driven assign-then-add ------------ #
+    lo, hi = ranges[rank].start, ranges[rank].stop
+    width = hi - lo
+    acc = _take((width, dim), vdtype)
+    seen = _take(width, np.bool_)
+    seen[...] = False
+    for src in range(world):
+        m, b = received[src]
+        p = np.flatnonzero(np.asarray(m))
+        if not p.size:
+            continue
+        vals = np.asarray(b).reshape(p.size, dim)
+        fresh = ~seen[p]
+        acc[p[fresh]] = vals[fresh]  # assign first touch: -0.0 survives
+        acc[p[~fresh]] += vals[~fresh]
+        seen[p] = True
+
+    # -- allgather the merged ranges ------------------------------------- #
+    my_pos = np.flatnonzero(seen)
+    payload = (comm.snapshot(seen), acc[my_pos])  # fancy index: owned copy
+    sent += (world - 1) * (seen.nbytes + acc[my_pos].nbytes)
+    gathered = comm.allgather(payload)
+
+    obs = comm.obs
+    if obs.enabled:
+        obs.count("wire_bytes.hot_lane", float(sent))
+        if table is not None:
+            obs.count(f"wire_bytes.table.{table}", float(sent))
+
+    idx_parts, val_parts = [], []
+    for r, (m, b) in enumerate(gathered):
+        p = ranges[r].start + np.flatnonzero(np.asarray(m))
+        if p.size:
+            idx_parts.append(hot_ids[p])
+            val_parts.append(np.asarray(b).reshape(p.size, dim))
+    comm.release_views()
+    arena.put(*taken)
+    if not idx_parts:
+        return SparseRows.empty(num_rows, dim, vdtype)
+    return SparseRows(
+        np.concatenate(idx_parts),
+        np.concatenate(val_parts),
+        num_rows,
+        coalesced=True,  # ranges ascend and positions ascend within each
+    )

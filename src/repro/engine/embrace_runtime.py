@@ -17,14 +17,28 @@ array but only its column slice is authoritative; ``refresh_rows``
 makes exactly the rows the next forward reads fresh, which is
 numerically identical to true model parallelism while letting the
 unmodified model code look up locally.
+
+Hybrid placement (:mod:`repro.placement`): a non-uniform
+:class:`~repro.placement.TablePlacement` marks a *hot set* of rows that
+are replicated — not sharded — on every rank.  Hot-row gradients travel
+on the dense lane (:func:`~repro.comm.allreduce_hot_rows`, bit-identical
+to the AlltoAll sum) and are applied full-dimension to the replica by a
+second :class:`~repro.optim.EmbraceAdam` on every rank identically, so
+hot rows never need refreshing; cold rows keep the sharded path above.
+Because the shard is a *view* of the replica's columns, hot updates are
+visible through it automatically and a hot→cold demotion migrates only
+optimizer moments, never values.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
 from repro.comm import (
     Communicator,
+    allreduce_hot_rows,
     alltoall_column_shards,
     alltoall_lookup_results,
     column_slices,
@@ -32,6 +46,7 @@ from repro.comm import (
 from repro.nn.embedding import Embedding
 from repro.nn.parameter import Parameter
 from repro.optim import EmbraceAdam
+from repro.placement import PlacementPlan, TablePlacement
 from repro.schedule.vertical import vertical_split
 from repro.tensors import SparseRows
 
@@ -45,10 +60,27 @@ class EmbraceTableRuntime:
         table: Embedding,
         lr: float = 1e-3,
         betas: tuple[float, float] = (0.9, 0.999),
+        placement: TablePlacement | PlacementPlan | None = None,
+        columns: slice | None = None,
     ):
         self.comm = comm
         self.table = table
+        self.name = table.weight.name.rsplit(".weight", 1)[0]
         cols = column_slices(table.embedding_dim, comm.world_size)
+        if columns is not None:
+            warnings.warn(
+                "EmbraceTableRuntime(columns=...) is deprecated; the column "
+                "partition is derived from the placement "
+                "(repro.placement.uniform_column_sharding by default)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if columns != cols[comm.rank]:
+                raise ValueError(
+                    f"explicit columns {columns} != uniform shard "
+                    f"{cols[comm.rank]}; non-uniform column partitions are "
+                    f"not supported — express skew via a hot set instead"
+                )
         self.my_columns = cols[comm.rank]
         # A writable view of this rank's authoritative columns.
         self.shard = Parameter(
@@ -57,6 +89,30 @@ class EmbraceTableRuntime:
             sparse_grad=True,
         )
         self.optimizer = EmbraceAdam([self.shard], lr=lr, betas=betas)
+        # Hot lane: the replicated rows update the *full replica* in
+        # place, identically on every rank.  ``Parameter`` keeps the
+        # float64 array by reference, so ``hot_param.data`` *is*
+        # ``table.weight.data`` and the shard view observes hot updates
+        # automatically.  Moment state is allocated lazily on first use.
+        if isinstance(placement, PlacementPlan):
+            placement = placement.for_table(self.name)
+        self.placement = placement or TablePlacement(table=self.name)
+        self.hot_ids = self.placement.hot_array
+        self.hot_param = Parameter(
+            table.weight.data,
+            name=f"{table.weight.name}.hot",
+            sparse_grad=True,
+        )
+        self.hot_optimizer = EmbraceAdam([self.hot_param], lr=lr, betas=betas)
+
+    @property
+    def n_hot(self) -> int:
+        """Replicated hot rows (0 = uniform column sharding)."""
+        return len(self.hot_ids)
+
+    def hot_mask(self, ids: np.ndarray) -> np.ndarray:
+        """Boolean mask over ``ids``: True where the row is hot."""
+        return self.placement.hot_mask(ids)
 
     # ------------------------------------------------------------------ #
     # The three phases of one iteration's sparse update, separable so an
@@ -99,7 +155,40 @@ class EmbraceTableRuntime:
         dense path (1.0 = historical bit-exact sparse wire format).
         """
         return alltoall_column_shards(
-            comm, part, dense_switch=dense_switch
+            comm, part, dense_switch=dense_switch, table=self.name
+        ).scale(scale)
+
+    def split_hot_cold(self, grad: SparseRows) -> tuple[SparseRows, SparseRows]:
+        """Partition a coalesced gradient into (hot, cold) row sets.
+
+        Hot rows ride the replicated dense lane; cold rows continue into
+        Algorithm 1's prior/delayed split.  Both halves come back
+        coalesced (row partition of an already-coalesced gradient).
+        """
+        g = grad if grad.coalesced else grad.coalesce()
+        if not self.n_hot or not g.nnz_rows:
+            return SparseRows.empty(g.num_rows, g.dim, g.values.dtype), g
+        hot_sel = self.placement.hot_mask(g.indices)
+        hot = SparseRows(
+            g.indices[hot_sel], g.values[hot_sel], g.num_rows, coalesced=True
+        )
+        cold = SparseRows(
+            g.indices[~hot_sel], g.values[~hot_sel], g.num_rows, coalesced=True
+        )
+        return hot, cold
+
+    def exchange_hot(
+        self, comm: Communicator, part: SparseRows, scale: float = 1.0
+    ) -> SparseRows:
+        """AllReduce the hot part into its full-dimension cross-rank sum.
+
+        Bit-identical to the AlltoAll column-shard sum for the same rows
+        (rank-ordered assign-then-add merge; column slicing commutes with
+        the per-row arithmetic), so routing a row hot vs cold never
+        changes loss bits.
+        """
+        return allreduce_hot_rows(
+            comm, self.hot_ids, part, table=self.name
         ).scale(scale)
 
     def apply_part(self, shard_grad: SparseRows, final: bool) -> None:
@@ -114,6 +203,16 @@ class EmbraceTableRuntime:
         optimizer-op sequence is unchanged.
         """
         self.optimizer.apply_sparse_part(self.shard, shard_grad, final=final)
+
+    def apply_hot(self, summed: SparseRows, final: bool = True) -> None:
+        """Replica-side Adam update for an exchanged hot part.
+
+        Runs identically on every rank (the summed hot gradient is
+        replicated), writing through ``hot_param`` into the shared
+        ``table.weight.data`` — the shard view sees the new values, so
+        no refresh is ever needed for hot rows.
+        """
+        self.hot_optimizer.apply_sparse_part(self.hot_param, summed, final=final)
 
     def apply_gradient(
         self,
@@ -147,6 +246,16 @@ class EmbraceTableRuntime:
         skipping a second identical AllGather.
         """
         local_ids = np.asarray(local_ids, dtype=np.int64)
+        if self.n_hot:
+            # Hot rows are updated identically on every replica and are
+            # never stale; dropping them here (deterministically — the
+            # hot set is replicated) is the lookup-byte saving.
+            local_ids = local_ids[~self.placement.hot_mask(local_ids)]
+            if all_ids is not None:
+                all_ids = [
+                    ids[~self.placement.hot_mask(np.asarray(ids, dtype=np.int64))]
+                    for ids in all_ids
+                ]
         if all_ids is None:
             all_ids = self.comm.allgather(local_ids)
         shard_lookup = np.concatenate(
@@ -161,7 +270,108 @@ class EmbraceTableRuntime:
         self.table.weight.data[local_ids] = fresh
 
     def gather_full_table(self) -> np.ndarray:
-        """Authoritative full table assembled from every rank's shard."""
+        """Authoritative full table assembled from every rank's shard.
+
+        Needs no hot-lane special case: hot updates write through the
+        replica into this rank's shard columns, so the column allgather
+        reassembles hot rows correctly too.
+        """
         own = np.ascontiguousarray(self.table.weight.data[:, self.my_columns])
         blocks = self.comm.allgather(own)
         return np.concatenate(blocks, axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Placement-invariant optimizer state + live hot-set migration.
+
+    def optimizer_state_full(self) -> tuple[dict[str, np.ndarray], int]:
+        """Collective: full-table-layout Adam moments + step counter.
+
+        Shard moments are column-allgathered; hot rows are overlaid from
+        the replica-local hot state.  The result is independent of the
+        placement in force, so checkpoints restore under any hot set.
+        """
+        shard_st = self.optimizer.state_for(self.shard)
+        full = {
+            key: np.concatenate(
+                self.comm.allgather(np.ascontiguousarray(shard_st[key])), axis=1
+            )
+            for key in ("exp_avg", "exp_avg_sq")
+        }
+        step = int(shard_st["step"])
+        if self.n_hot:
+            hot_st = self.hot_optimizer.state_for(self.hot_param)
+            if int(hot_st["step"]) != step:
+                raise RuntimeError(
+                    f"{self.name}: hot step {hot_st['step']} != shard step "
+                    f"{step}; hot and cold lanes must advance together"
+                )
+            for key in ("exp_avg", "exp_avg_sq"):
+                full[key][self.hot_ids] = hot_st[key][self.hot_ids]
+        return full, step
+
+    def restore_optimizer_state(
+        self, exp_avg: np.ndarray, exp_avg_sq: np.ndarray, step: int
+    ) -> None:
+        """Load full-table-layout moments under the current placement."""
+        shard_st = self.optimizer.state_for(self.shard)
+        shard_st["exp_avg"] = np.ascontiguousarray(exp_avg[:, self.my_columns])
+        shard_st["exp_avg_sq"] = np.ascontiguousarray(
+            exp_avg_sq[:, self.my_columns]
+        )
+        shard_st["step"] = int(step)
+        if self.n_hot:
+            hot_st = self.hot_optimizer.state_for(self.hot_param)
+            for key, full in (("exp_avg", exp_avg), ("exp_avg_sq", exp_avg_sq)):
+                hot_st[key][...] = 0.0
+                hot_st[key][self.hot_ids] = full[self.hot_ids]
+            hot_st["step"] = int(step)
+
+    def repartition(self, comm: Communicator, new_hot_ids: np.ndarray) -> None:
+        """Collective: migrate to a new hot set, bit-exact mid-training.
+
+        Must run at a step boundary with no delayed parts outstanding
+        and with the same ``new_hot_ids`` on every rank.  Demotion moves
+        moment columns back into the shard state (values need no move —
+        the shard is a view of the replica, which is already fresh on
+        the owner).  Promotion allgathers each newly hot row's
+        authoritative value and moment columns into the replica and the
+        full-dimension hot state; per-row Adam arithmetic commutes with
+        column slicing, so training continues with unchanged bits.
+        """
+        new = np.unique(np.asarray(new_hot_ids, dtype=np.int64))
+        old = self.hot_ids
+        promoted = np.setdiff1d(new, old, assume_unique=True)
+        demoted = np.setdiff1d(old, new, assume_unique=True)
+        if promoted.size or demoted.size:
+            shard_st = self.optimizer.state_for(self.shard)
+            hot_st = self.hot_optimizer.state_for(self.hot_param)
+            weight = self.table.weight.data
+            if demoted.size:
+                for key in ("exp_avg", "exp_avg_sq"):
+                    shard_st[key][demoted] = hot_st[key][demoted][
+                        :, self.my_columns
+                    ]
+                    hot_st[key][demoted] = 0.0
+            if promoted.size:
+                # Weight is the full-width replica (slice this rank's
+                # columns); the shard moments are already shard-width.
+                own = (
+                    np.ascontiguousarray(weight[promoted][:, self.my_columns]),
+                    np.ascontiguousarray(shard_st["exp_avg"][promoted]),
+                    np.ascontiguousarray(shard_st["exp_avg_sq"][promoted]),
+                )
+                blocks = comm.allgather(own)
+                weight[promoted] = np.concatenate([b[0] for b in blocks], axis=1)
+                hot_st["exp_avg"][promoted] = np.concatenate(
+                    [b[1] for b in blocks], axis=1
+                )
+                hot_st["exp_avg_sq"][promoted] = np.concatenate(
+                    [b[2] for b in blocks], axis=1
+                )
+                for key in ("exp_avg", "exp_avg_sq"):
+                    shard_st[key][promoted] = 0.0
+            hot_st["step"] = int(shard_st["step"])
+        self.placement = TablePlacement(
+            table=self.name, hot_ids=tuple(int(i) for i in new)
+        )
+        self.hot_ids = self.placement.hot_array

@@ -97,6 +97,9 @@ class RunConfig:
     faults: Any = None  # FaultPlan (real mode)
     knobs: Any = None  # SchedKnobs / dict (real mode)
     profile: Any = None  # TunedProfile (real mode)
+    #: Hybrid hot/cold placement (anything repro.placement.as_placement
+    #: accepts); None = uniform column sharding (real mode, embrace).
+    placement: Any = None
 
     def __post_init__(self) -> None:
         check_in("mode", self.mode, {"real", "sim"})
@@ -195,6 +198,7 @@ def _run_real(config: RunConfig) -> RunResult:
             group=group,
             knobs=config.knobs,
             profile=config.profile,
+            placement=config.placement,
         )
         result = trainer.train()
     finally:

@@ -71,6 +71,7 @@ from repro.engine.checkpoint import (
 from repro.engine.embrace_runtime import EmbraceTableRuntime
 from repro.faults import CommFailure, FaultPlan, FaultyCommunicator, RankCrashed
 from repro.optim import EmbraceAdam
+from repro.placement import TablePlacement, as_placement, learn_hot_ids
 from repro.data import Prefetcher
 from repro.engine.workload import batch_stream
 from repro.models.blocks import block_specs
@@ -158,6 +159,7 @@ class RealTrainer:
         overlap: bool = True,
         knobs: SchedKnobs | dict | None = None,
         profile=None,
+        placement=None,
     ):
         """``dgc_ratio`` (optional) enables Deep-Gradient-Compression on
         the *dense* gradients: each rank top-k sparsifies with error
@@ -208,6 +210,17 @@ class RealTrainer:
         historical constants, and every knob setting trains
         bit-identically at a fixed seed — knobs move *when* bytes
         travel, never their arithmetic.
+
+        ``placement`` (anything :func:`repro.placement.as_placement`
+        accepts: a :class:`~repro.placement.PlacementPlan`, a single
+        :class:`~repro.placement.TablePlacement`, a ``{table: hot_ids}``
+        mapping, or ``None`` for uniform column sharding) routes each
+        table's hot rows onto the replicated dense lane under the
+        ``"embrace"`` strategy.  Placement — like knobs — only moves
+        bytes: training is bit-identical at any hot fraction.  When
+        ``knobs.repartition_interval > 0`` the trainer re-learns the hot
+        set from live row counters every interval and migrates to it
+        mid-run (also bit-exact).
         """
         check_in("strategy", strategy, {"allgather", "allreduce", "embrace"})
         if backend is not None or transport is not None:
@@ -269,6 +282,7 @@ class RealTrainer:
             raise TypeError(f"knobs must be a SchedKnobs, got {type(knobs)}")
         self.knobs = knobs
         self.profile = profile
+        self.placement = as_placement(placement)
 
     # ------------------------------------------------------------------ #
     def __getstate__(self) -> dict:
@@ -497,12 +511,34 @@ class RealTrainer:
         # Per-table EmbRace runtimes (column shards + modified Adam) —
         # created after any restore so the shards view the loaded tables.
         runtimes: dict[str, EmbraceTableRuntime] = {}
+        live_counts: dict[str, np.ndarray] | None = None
         if self.strategy == "embrace":
-            runtimes = {
-                name: EmbraceTableRuntime(coll, table, lr=self.lr)
-                for name, table in tables.items()
-            }
+            for name, table in tables.items():
+                ckpt_hot = f"embrace/{name}/hot_ids"
+                if ckpt_hot in extras:
+                    # Resume with the placement in force at checkpoint
+                    # time (a drift repartition may have moved it past
+                    # the configured plan).
+                    tp = TablePlacement(
+                        table=name,
+                        hot_ids=tuple(int(i) for i in extras[ckpt_hot]),
+                    )
+                else:
+                    tp = self.placement.for_table(name)
+                runtimes[name] = EmbraceTableRuntime(
+                    coll, table, lr=self.lr, placement=tp
+                )
             self._restore_shard_state(runtimes, extras)
+            if self.knobs.repartition_interval > 0:
+                # Drift monitor: exact per-rank row counters, summed
+                # across ranks at each repartition boundary.  Not
+                # checkpointed — bit-identity holds under *any* hot set,
+                # so losing counter history only shifts which rows are
+                # hot after a restart, never the arithmetic.
+                live_counts = {
+                    name: np.zeros(table.num_embeddings, dtype=np.int64)
+                    for name, table in tables.items()
+                }
 
         compressors = None
         if self.dgc_ratio is not None:
@@ -540,6 +576,9 @@ class RealTrainer:
         # first.
         dense_order = self._dense_schedule(model, dense_params)
         dense_buckets = self._dense_buckets(dense_order, self.knobs.bucket_elems)
+        # Hot-row allreduces ride the dense lane at its most urgent
+        # existing horizontal priority (they are dense traffic now).
+        hot_priority = min((b[0] for b in dense_buckets), default=0.0)
 
         obs = comm.obs  # NULL_RECORDER unless a SpanRecorder is installed
         # Delayed sparse parts carried across the step boundary:
@@ -644,7 +683,7 @@ class RealTrainer:
                 else:
                     gathered_next = self._embrace_sparse_step(
                         sched, coll, model, batch, next_batch, runtimes,
-                        pending_delayed,
+                        pending_delayed, hot_priority, live_counts,
                     )
                     # Dense params still use the fused optimizer; detach
                     # sparse grads so step() skips them.
@@ -677,6 +716,16 @@ class RealTrainer:
                 model.zero_grad()
                 if self.record_predictions:
                     predictions.append(self._teacher_forced_predictions(model, batch))
+                if (
+                    live_counts is not None
+                    and (_step + 1) % self.knobs.repartition_interval == 0
+                ):
+                    # Drift boundary: commit trailing delayed parts, then
+                    # migrate every table to its freshly learned hot set
+                    # (collective, bit-exact — see EmbraceTableRuntime.
+                    # repartition).
+                    self._flush_delayed(runtimes, pending_delayed)
+                    self._repartition(sched, coll, runtimes, live_counts)
                 if self.eval_every and (_step + 1) % self.eval_every == 0:
                     # Validation refreshes arbitrary rows: commit carried
                     # delayed parts first.
@@ -731,12 +780,13 @@ class RealTrainer:
         }
         for name, rt in runtimes.items():
             rt.table.weight.data[:] = rt.gather_full_table()
-            st = rt.optimizer.state_for(rt.shard)
+            full, opt_step = rt.optimizer_state_full()
             for key in ("exp_avg", "exp_avg_sq"):
-                extras[f"embrace/{name}/{key}"] = np.concatenate(
-                    comm.allgather(np.ascontiguousarray(st[key])), axis=1
-                )
-            extras[f"embrace/{name}/step"] = np.array(st["step"], dtype=np.int64)
+                extras[f"embrace/{name}/{key}"] = full[key]
+            extras[f"embrace/{name}/step"] = np.array(opt_step, dtype=np.int64)
+            extras[f"embrace/{name}/hot_ids"] = np.asarray(
+                rt.hot_ids, dtype=np.int64
+            )
         if comm.rank == 0:
             save_checkpoint(path, model, optimizer, step=step, extras=extras)
 
@@ -746,12 +796,38 @@ class RealTrainer:
             key = f"embrace/{name}/exp_avg"
             if key not in extras:
                 continue
-            st = rt.optimizer.state_for(rt.shard)
-            st["exp_avg"] = np.ascontiguousarray(extras[key][:, rt.my_columns])
-            st["exp_avg_sq"] = np.ascontiguousarray(
-                extras[f"embrace/{name}/exp_avg_sq"][:, rt.my_columns]
+            rt.restore_optimizer_state(
+                extras[key],
+                extras[f"embrace/{name}/exp_avg_sq"],
+                int(extras[f"embrace/{name}/step"]),
             )
-            st["step"] = int(extras[f"embrace/{name}/step"])
+
+    # ------------------------------------------------------------------ #
+    def _repartition(self, sched, coll, runtimes, live_counts) -> None:
+        """Re-learn each table's hot set from live counters and migrate.
+
+        The per-rank counters are allgathered and summed (identical on
+        every rank), the hot set re-learned, and the migration's
+        allgathers run as a single ``PRIORITY_URGENT`` work item — the
+        prioritized broadcast — so it preempts any queued traffic.
+        Counters reset afterwards: each window detects *recent* drift.
+        """
+        hot_fraction = self.knobs.hot_fraction
+        for name, rt in runtimes.items():
+            counts = live_counts[name]
+
+            def work(c, rt=rt, counts=counts):
+                total = np.sum(c.allgather(counts), axis=0)
+                n_hot = rt.n_hot
+                if hot_fraction > 0.0:
+                    n_hot = int(round(hot_fraction * counts.size))
+                rt.repartition(c, learn_hot_ids(total, n_hot))
+
+            sched.submit(
+                work, priority=PRIORITY_URGENT, label=f"repartition:{name}"
+            ).wait()
+            counts[:] = 0
+        sched.comm.obs.count("placement.repartitions", 1.0)
 
     # ------------------------------------------------------------------ #
     def _validate(self, model, val_batches, runtimes) -> float:
@@ -859,9 +935,16 @@ class RealTrainer:
         pending.clear()
 
     def _embrace_sparse_step(
-        self, sched, coll, model, batch, next_batch, runtimes, pending_delayed
+        self, sched, coll, model, batch, next_batch, runtimes, pending_delayed,
+        hot_priority=0.0, live_counts=None,
     ) -> dict[str, list[np.ndarray]] | None:
         """Algorithm 1 + AlltoAll + EmbraceAdam on each table's shard.
+
+        Hot rows (hybrid placement) leave first: their full-dimension
+        AllReduce rides the dense lane at ``hot_priority`` and is
+        applied to every replica right after the prior part — bit-safe
+        because hot, prior, and delayed row sets are pairwise disjoint.
+        Cold rows continue into Algorithm 1's split below.
 
         The prior part runs at ``PRIORITY_PRIOR`` — preempting queued
         dense chunks — and gates this step's refresh; the delayed part
@@ -895,12 +978,27 @@ class RealTrainer:
             grad = table.weight.grad
             current_ids = self._table_ids(model, name, batch)
             sched.comm.obs.count_rows(name, current_ids)
+            if live_counts is not None:
+                np.add.at(live_counts[name], current_ids, 1)
             global_next = (
                 np.concatenate(gathered_next[name])
                 if gathered_next is not None
                 else None
             )
             rt = runtimes[name]
+            hot_h = None
+            if rt.n_hot:
+                # Submitted unconditionally (SPMD-safe: n_hot is
+                # replicated), even when this rank's hot part is empty —
+                # peers may still have hot rows to merge, and the empty
+                # final apply keeps the hot Adam step advancing in
+                # lockstep with the shard step.
+                hot, grad = rt.split_hot_cold(grad)
+                hot_h = sched.submit(
+                    lambda c, g=hot, rt=rt: rt.exchange_hot(c, g, inv_world),
+                    priority=hot_priority,
+                    label=f"hot:{name}",
+                )
             prior, delayed = rt.split(grad, current_ids, global_next)
             if (
                 self.knobs.delayed_min_rows
@@ -911,6 +1009,8 @@ class RealTrainer:
                 # prior exchange.  Bit-safe — both split parts use the
                 # same bias-correction step and rows stay disjoint, so
                 # prior-of-everything ≡ prior+delayed (see SchedKnobs).
+                # ``grad`` here is already the cold remainder, so the
+                # fold never resurrects hot rows.
                 prior, delayed = rt.split(grad, current_ids, None)
             dense_switch = self.knobs.dense_switch_density
             prior_h = sched.submit(
@@ -928,6 +1028,8 @@ class RealTrainer:
                 label=f"delayed:{name}",
             )
             rt.apply_part(prior_h.wait(), final=False)
+            if hot_h is not None:
+                rt.apply_hot(hot_h.wait(), final=True)
             pending_delayed.append((name, delayed_h))
         return gathered_next
 

@@ -93,6 +93,51 @@ class TraceBundle:
         ranked = sorted(merged.items(), key=lambda rc: (-rc[1], rc[0]))
         return ranked[:k]
 
+    def row_cdf(self, table: str) -> tuple["object", "object", "object"]:
+        """Cumulative access-frequency curve of ``table``'s hottest rows.
+
+        Returns ``(ids, counts, coverage)`` numpy arrays sorted by
+        descending merged count (ties broken toward the lower row id):
+        ``coverage[i]`` is the fraction of *all* recorded accesses
+        (:meth:`row_access_total`, exact) that rows ``ids[:i+1]``
+        account for.  This is the curve
+        :meth:`repro.placement.PlacementPlan.from_trace` cuts at the
+        requested hot fraction, and what
+        ``examples/placement_study.py`` plots.  Rows outside every
+        rank's ``row_topk`` summary are absent, so the curve covers only
+        the head — exactly the region a hot set is drawn from.
+        """
+        import numpy as np  # local: keep module import-light
+
+        ranked = self.hot_rows(table, k=10**9)  # every summarized row
+        if not ranked:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        ids = np.array([r for r, _ in ranked], dtype=np.int64)
+        counts = np.array([c for _, c in ranked], dtype=np.int64)
+        total = self.row_access_total(table)
+        coverage = np.cumsum(counts) / max(1, total)
+        return ids, counts, coverage
+
+    def wire_bytes_by_table(self) -> dict[str, float]:
+        """Sparse wire bytes attributed to each table, summed over ranks.
+
+        The collectives count every table's traffic under
+        ``wire_bytes.table.<name>`` — the AlltoAll column shards *and*
+        the replicated hot-row lane both attribute to the owning table,
+        so a hybrid placement's dense hot traffic never vanishes from
+        (or double-counts in) the per-table accounting.
+        """
+        prefix = "wire_bytes.table."
+        out: dict[str, float] = {}
+        for name, value in self.total_counters().items():
+            if name.startswith(prefix):
+                out[name[len(prefix):]] = value
+        return out
+
     def row_access_total(self, table: str) -> int:
         """Total row accesses of ``table`` across ranks (exact: totals
         are accumulated rank-locally, not reconstructed from the top-k)."""

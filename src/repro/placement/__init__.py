@@ -1,0 +1,21 @@
+"""Hybrid hot/cold embedding placement (hot-row replication + cold shards)."""
+
+from repro.placement.plan import (
+    DriftMonitor,
+    Placement,
+    PlacementPlan,
+    TablePlacement,
+    as_placement,
+    learn_hot_ids,
+    uniform_column_sharding,
+)
+
+__all__ = [
+    "DriftMonitor",
+    "Placement",
+    "PlacementPlan",
+    "TablePlacement",
+    "as_placement",
+    "learn_hot_ids",
+    "uniform_column_sharding",
+]

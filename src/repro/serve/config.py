@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.utils.validation import check_in, check_positive
 
@@ -32,8 +33,22 @@ class ServeConfig:
     world_size: int = 2
     backend: str = "thread"
     transport: str | None = None
-    trace: bool = False
+    #: False, True, or a :class:`~repro.obs.TraceConfig` (e.g. to raise
+    #: ``row_topk`` so a placement can be learned from the trace).
+    trace: Any = False
     overlap: bool = True
+
+    # -- hybrid placement ------------------------------------------------ #
+    #: Anything :func:`repro.placement.as_placement` accepts; ``None``
+    #: keeps uniform column sharding.  Hot rows are served from the
+    #: local replica (no cross-rank lookup bytes) at the same seqlock
+    #: version fence as cold rows.
+    placement: Any = None
+    #: Target hot fraction when the drift monitor re-learns the split
+    #: (0.0 = keep each table's current hot-set size).
+    hot_fraction: float = 0.0
+    #: Re-learn + migrate the hot set every N committed steps (0 = off).
+    repartition_interval: int = 0
 
     # -- serve load ------------------------------------------------------ #
     clients: int = 2
@@ -77,6 +92,18 @@ class ServeConfig:
         if self.interrupt_after is not None and self.interrupt_after < 0:
             raise ValueError(
                 f"interrupt_after must be >= 0, got {self.interrupt_after}"
+            )
+        if isinstance(self.hot_fraction, bool) or not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError(
+                f"hot_fraction must be in [0, 1], got {self.hot_fraction!r}"
+            )
+        if isinstance(self.repartition_interval, bool) or (
+            not isinstance(self.repartition_interval, int)
+            or self.repartition_interval < 0
+        ):
+            raise ValueError(
+                f"repartition_interval must be an int >= 0, got "
+                f"{self.repartition_interval!r}"
             )
 
     @property

@@ -127,11 +127,15 @@ def offline_reference(
                 grad_parts[name].append(grad.coalesce())
             loss_parts.append(rank_loss)
         for name in cfg.tables:
-            total = (
-                SparseRows.concat(grad_parts[name])
-                .coalesce()
-                .scale(1.0 / cfg.world_size)
-            )
+            # merge_coalesced, not concat().coalesce(): the collectives
+            # sum each row's per-rank parts left-to-right in rank order,
+            # while coalesce's reduceat pairs groups of >= 3 — an ulp
+            # apart for rows every rank touches (visible at world >= 3).
+            total = SparseRows.merge_coalesced(
+                [(g.indices, g.values) for g in grad_parts[name]],
+                cfg.vocab,
+                cfg.dim,
+            ).scale(1.0 / cfg.world_size)
             optimizers[name].apply_sparse_part(
                 tables[name].weight, total, final=True
             )

@@ -53,6 +53,7 @@ from repro.comm import (
 )
 from repro.data.zipf import ZipfSampler
 from repro.engine.embrace_runtime import EmbraceTableRuntime
+from repro.placement import as_placement, learn_hot_ids
 from repro.serve.batching import AdmissionQueue
 from repro.serve.config import ServeConfig
 from repro.serve.online import SparseEmbeddingTask, build_tables, train_stream_rng
@@ -78,12 +79,28 @@ class _WorkerState:
         self.ctrl = SchedComm(self.sched, priority=PRIORITY_SERVE)
         self.trainc = SchedComm(self.sched, priority=PRIORITY_URGENT)
         tables = build_tables(cfg)
+        plan = as_placement(cfg.placement)
         self.stores = {
             name: VersionedShardStore(
-                EmbraceTableRuntime(self.trainc, tables[name], lr=cfg.lr)
+                EmbraceTableRuntime(
+                    self.trainc,
+                    tables[name],
+                    lr=cfg.lr,
+                    placement=plan.for_table(name),
+                )
             )
             for name in cfg.tables
         }
+        # Drift monitor (rank 0 only): exact row counters over both the
+        # gathered training ids and the served ids; the repartition op
+        # broadcast carries the learned hot sets to the followers.
+        self.row_counts = (
+            {name: np.zeros(cfg.vocab, dtype=np.int64) for name in cfg.tables}
+            if cfg.repartition_interval > 0 and comm.rank == 0
+            else None
+        )
+        self.last_repartition_step = 0
+        self.repartitions = 0
         self.task = SparseEmbeddingTask(cfg.vocab, cfg.dim, cfg.seed)
         self.sampler = ZipfSampler(cfg.vocab, cfg.zipf_exponent)
         self.train_rngs = {
@@ -115,10 +132,20 @@ def _execute_op(
     if kind == "serve":
         _, table, ids = op
         with state.obs.span("serve_batch", resource="serve", kind="compute"):
-            version, block = state.stores[table].read_rows(ids)
+            version, hot_sel, block, hot_vals = state.stores[
+                table
+            ].read_rows_placed(ids)
+            # Only the cold blocks travel; hot rows are answered from
+            # the local replica at the same fenced version.
+            if state.obs.enabled:
+                sent = block.nbytes * (state.comm.world_size - 1)
+                state.obs.count("wire_bytes.serve_lookup", float(sent))
+                state.obs.count(f"wire_bytes.table.{table}", float(sent))
             gathered = state.ctrl.allgather((version, block))
             if state.comm.rank == 0:
-                _complete_batch(state, table, ids, gathered, requests)
+                _complete_batch(
+                    state, table, ids, hot_sel, hot_vals, gathered, requests
+                )
         return True
     if kind == "train":
         _start_step(state)
@@ -126,16 +153,38 @@ def _execute_op(
     if kind == "commit":
         _commit_step(state)
         return True
+    if kind == "repartition":
+        _, new_sets = op
+        with state.obs.span("repartition", resource="compute"):
+            for table, ids in new_sets.items():
+                # Migration allgathers ride the urgent training facade —
+                # the prioritized broadcast lane.
+                state.stores[table].repartition(state.trainc, ids)
+        state.repartitions += 1
+        state.obs.count("serve.repartitions")
+        return True
     if kind == "stop":
         return False
     raise ValueError(f"unknown serve op {op!r}")  # pragma: no cover
 
 
-def _complete_batch(state, table, ids, gathered, requests) -> None:
-    """Rank 0: reassemble full-dimension rows, hand them to waiters."""
+def _complete_batch(state, table, ids, hot_sel, hot_vals, gathered, requests) -> None:
+    """Rank 0: reassemble full-dimension rows, hand them to waiters.
+
+    Cold rows concatenate the gathered column blocks; hot rows come from
+    this rank's replica read — same fenced pass as its cold block, so
+    the hot values carry this rank's gathered version by construction.
+    """
     versions = {int(v) for v, _ in gathered}
-    values = np.concatenate([b for _, b in gathered], axis=1)
+    cold = np.concatenate([b for _, b in gathered], axis=1)
+    values = np.empty((len(ids), cold.shape[1]), dtype=cold.dtype)
+    values[~hot_sel] = cold
+    values[hot_sel] = hot_vals
     version = versions.pop() if len(versions) == 1 else -1
+    if hot_sel.any():
+        state.obs.count("serve.hot_rows", float(hot_sel.sum()))
+    if state.row_counts is not None:
+        np.add.at(state.row_counts[table], ids, 1)
     if version < 0:
         state.torn_batches += 1
         state.obs.count("serve.torn_batches")
@@ -166,6 +215,10 @@ def _start_step(state: _WorkerState) -> None:
     # One fused urgent gather covers Algorithm 1's id exchange for every
     # table; refresh reuses it instead of gathering again.
     gathered = state.trainc.allgather(local_ids)
+    if state.row_counts is not None:
+        for per_rank in gathered:
+            for name, ids in per_rank.items():
+                np.add.at(state.row_counts[name], ids, 1)
     with state.obs.span("online_step", resource="compute"):
         rank_loss = 0.0
         grads = {}
@@ -185,6 +238,19 @@ def _start_step(state: _WorkerState) -> None:
         priority=PRIORITY_TRAIN,
         label=f"loss:{step}",
     )
+    # Hot rows leave on their replicated dense lane; the cold remainder
+    # takes the AlltoAll column-shard exchange as before.  Both are
+    # submitted without waiting — the commit op collects them.
+    hot_exchange = {}
+    for name in cfg.tables:
+        rt = state.stores[name].runtime
+        if rt.n_hot:
+            hot_g, grads[name] = rt.split_hot_cold(grads[name])
+            hot_exchange[name] = state.sched.submit(
+                lambda c, rt=rt, g=hot_g: rt.exchange_hot(c, g, 1.0 / world),
+                priority=PRIORITY_TRAIN,
+                label=f"hot:{name}:{step}",
+            )
     exchange = {
         name: state.sched.submit(
             lambda c, rt=state.stores[name].runtime, g=grads[name]: rt.exchange(
@@ -195,20 +261,43 @@ def _start_step(state: _WorkerState) -> None:
         )
         for name in cfg.tables
     }
-    state.pending = (loss_handle, exchange)
+    state.pending = (loss_handle, exchange, hot_exchange)
 
 
 def _commit_step(state: _WorkerState) -> None:
     """Wait on the in-flight exchange; apply it under the write fences."""
-    loss_handle, exchange = state.pending
+    loss_handle, exchange, hot_exchange = state.pending
     state.pending = None
     with state.obs.span("commit_step", resource="compute"):
         for name in state.cfg.tables:
-            state.stores[name].apply_part(exchange[name].wait(), final=True)
+            hot = (
+                hot_exchange[name].wait() if name in hot_exchange else None
+            )
+            state.stores[name].apply_parts(
+                exchange[name].wait(), hot, final=True
+            )
         parts = loss_handle.wait()
     state.losses.append(sum(parts) / state.comm.world_size)
     state.steps_done += 1
     state.obs.count("serve.steps")
+
+
+def _learn_new_hot_sets(state: _WorkerState) -> dict[str, np.ndarray]:
+    """Rank 0: top-count hot set per table from the live counters.
+
+    Counters reset afterwards so each window reflects *recent* access
+    drift, not the whole run.
+    """
+    cfg = state.cfg
+    new_sets = {}
+    for name in cfg.tables:
+        counts = state.row_counts[name]
+        n_hot = state.stores[name].runtime.n_hot
+        if cfg.hot_fraction > 0.0:
+            n_hot = int(round(cfg.hot_fraction * cfg.vocab))
+        new_sets[name] = learn_hot_ids(counts, n_hot)
+        counts[:] = 0
+    return new_sets
 
 
 # --------------------------------------------------------------------- #
@@ -235,6 +324,16 @@ def _drive_loop(state: _WorkerState, queue: AdmissionQueue, clients) -> None:
             op: tuple = ("serve", table, ids)
         elif state.pending is not None:
             op = ("commit",)
+        elif (
+            state.row_counts is not None
+            and state.steps_done > state.last_repartition_step
+            and state.steps_done % cfg.repartition_interval == 0
+        ):
+            # Drift boundary (no step in flight): learn each table's new
+            # hot set from the live counters; the op broadcast carries
+            # the ids so followers migrate to the identical set.
+            op = ("repartition", _learn_new_hot_sets(state))
+            state.last_repartition_step = state.steps_done
         elif state.steps_done < cfg.train_steps:
             op = ("train",)
         elif state.requests_served >= cfg.total_requests or (
@@ -305,6 +404,7 @@ def _drive(state: _WorkerState) -> dict:
         "interrupted": interrupted,
         "wall_time_s": wall,
         "steps_done": state.steps_done,
+        "repartitions": state.repartitions,
         "serve_results": state.serve_results if cfg.record_serve_results else None,
     }
 
@@ -357,7 +457,8 @@ class ServeReport:
     steps_done: int
     interrupted: bool
     wall_time_s: float
-    final_tables: dict[str, np.ndarray] = field(repr=False)
+    repartitions: int = 0
+    final_tables: dict[str, np.ndarray] = field(repr=False, default_factory=dict)
     serve_results: list | None = field(default=None, repr=False)
     trace: Any = field(default=None, repr=False)
 
@@ -407,14 +508,18 @@ class ShardedEmbeddingService:
     instead of leaking it.
     """
 
-    def __init__(self, config: ServeConfig, group=None):
+    def __init__(self, config: ServeConfig, group=None, placement=None):
+        if placement is not None:
+            import dataclasses
+
+            config = dataclasses.replace(config, placement=placement)
         self.config = config
         self._owns_group = group is None
         self.group = group or open_group(
             config.world_size,
             backend=config.backend,
             transport=config.transport,
-            trace=True if config.trace else None,
+            trace=config.trace or None,
         )
         self._closed = False
 
@@ -438,6 +543,7 @@ class ShardedEmbeddingService:
             steps_done=outs[0]["steps_done"],
             interrupted=report["interrupted"],
             wall_time_s=report["wall_time_s"],
+            repartitions=report["repartitions"],
             final_tables=outs[0]["final_tables"],
             serve_results=report["serve_results"],
             trace=self.group.last_trace,

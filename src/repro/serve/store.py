@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 
 import numpy as np
 
@@ -92,8 +93,23 @@ class VersionedShardStore:
     def version(self) -> int:
         return self.fence.version
 
-    def read_rows(self, ids: np.ndarray) -> tuple[int, np.ndarray]:
+    def read_rows(
+        self, ids: np.ndarray, columns: slice | None = None
+    ) -> tuple[int, np.ndarray]:
         """Snapshot-consistent ``(version, rows[:, my_columns])`` copy."""
+        if columns is not None:
+            warnings.warn(
+                "VersionedShardStore.read_rows(columns=...) is deprecated; "
+                "the column partition comes from the runtime's placement "
+                "(repro.placement.uniform_column_sharding by default)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if columns != self.runtime.my_columns:
+                raise ValueError(
+                    f"explicit columns {columns} != this rank's shard "
+                    f"{self.runtime.my_columns}"
+                )
         ids = np.asarray(ids, dtype=np.int64)
         weight = self.runtime.table.weight.data
         cols = self.runtime.my_columns
@@ -105,6 +121,35 @@ class VersionedShardStore:
 
         return self.fence.read(copy_block)
 
+    def read_rows_placed(
+        self, ids: np.ndarray
+    ) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+        """One fenced read serving hot rows locally, cold rows sharded.
+
+        Returns ``(version, hot_sel, cold_block, hot_values)``: the cold
+        rows' authoritative column block (for the cross-rank AllGather)
+        and the hot rows' *full-dimension* values straight off the local
+        replica — hot rows are updated identically on every rank, so no
+        lookup bytes travel for them.  Both copies happen inside a
+        single fence pass, so they observe the same version.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        rt = self.runtime
+        weight = rt.table.weight.data
+        cols = rt.my_columns
+        hot_sel = rt.hot_mask(ids)
+        cold_ids = ids[~hot_sel]
+        hot_ids = ids[hot_sel]
+
+        def copy_blocks():
+            return (
+                np.ascontiguousarray(weight[cold_ids][:, cols]),
+                weight[hot_ids].copy(),
+            )
+
+        version, (cold_block, hot_values) = self.fence.read(copy_blocks)
+        return version, hot_sel, cold_block, hot_values
+
     def apply_part(self, shard_grad: SparseRows, final: bool = True) -> None:
         """Commit one exchanged gradient part under the write fence."""
         self.fence.begin_write()
@@ -112,3 +157,35 @@ class VersionedShardStore:
             self.runtime.apply_part(shard_grad, final=final)
         finally:
             self.fence.end_write()
+
+    def apply_parts(
+        self,
+        shard_grad: SparseRows,
+        hot_grad: SparseRows | None = None,
+        final: bool = True,
+    ) -> None:
+        """Commit the cold shard part and the hot replica part together.
+
+        One fence write: the version advances exactly once per committed
+        step whether or not a hot lane is active, keeping
+        ``version == steps_done`` for snapshot comparisons.
+        """
+        self.fence.begin_write()
+        try:
+            self.runtime.apply_part(shard_grad, final=final)
+            if hot_grad is not None:
+                self.runtime.apply_hot(hot_grad, final=final)
+        finally:
+            self.fence.end_write()
+
+    def repartition(self, comm, new_hot_ids: np.ndarray) -> None:
+        """Migrate to a new hot set (collective; sequenced by the service).
+
+        Deliberately *not* a fence write: promotion only rewrites
+        non-authoritative replica bytes to their authoritative values
+        (no observable state changes at this version), and bumping the
+        fence would break the ``version == committed steps`` invariant.
+        The service sequences this op like any other, so no read runs
+        concurrently on this rank.
+        """
+        self.runtime.repartition(comm, new_hot_ids)

@@ -56,6 +56,10 @@ class Candidate:
             parts.append(f"fold<{k.delayed_min_rows}")
         if k.dense_switch_density < 1.0:
             parts.append(f"dense<{k.dense_switch_density:g}")
+        if k.hot_fraction > 0.0:
+            parts.append(f"hot={k.hot_fraction:g}")
+        if k.repartition_interval:
+            parts.append(f"repart={k.repartition_interval}")
         if self.transport:
             parts.append(self.transport)
         return " ".join(parts)
@@ -70,14 +74,16 @@ class SearchSpace:
     bucket_elems: tuple[int, ...] = (65_536, 262_144)
     delayed_min_rows: tuple[int, ...] = (0,)
     dense_switch_density: tuple[float, ...] = (1.0,)
+    hot_fraction: tuple[float, ...] = (0.0,)
+    repartition_interval: tuple[int, ...] = (0,)
     strategy: tuple[str, ...] = ("embrace",)
     transport: tuple[str | None, ...] = (None,)
 
     def __post_init__(self):
         for name in (
             "chunk_elems", "max_chunks", "bucket_elems",
-            "delayed_min_rows", "dense_switch_density", "strategy",
-            "transport",
+            "delayed_min_rows", "dense_switch_density", "hot_fraction",
+            "repartition_interval", "strategy", "transport",
         ):
             if not getattr(self, name):
                 raise ValueError(f"SearchSpace.{name} must be non-empty")
@@ -95,9 +101,10 @@ class SearchSpace:
         """The grid in deterministic (itertools.product) order; knob
         validation happens in each :class:`~repro.comm.SchedKnobs`."""
         out = []
-        for ce, mc, be, dm, ds, st, tr in itertools.product(
+        for ce, mc, be, dm, ds, hf, ri, st, tr in itertools.product(
             self.chunk_elems, self.max_chunks, self.bucket_elems,
             self.delayed_min_rows, self.dense_switch_density,
+            self.hot_fraction, self.repartition_interval,
             self.strategy, self.transport,
         ):
             out.append(
@@ -106,6 +113,7 @@ class SearchSpace:
                         chunk_elems=ce, max_chunks=mc,
                         bucket_elems=be, delayed_min_rows=dm,
                         dense_switch_density=ds,
+                        hot_fraction=hf, repartition_interval=ri,
                     ),
                     strategy=st,
                     transport=tr,
@@ -129,6 +137,13 @@ class TableLoad:
     delayed_rows: float
     ids_bytes: float  # next-iteration id lists (the fused AllGather)
     lookup_bytes: float  # hoisted refresh: reassembled rows
+    #: Table size in rows (basis for hot_fraction -> n_hot).
+    vocab_rows: float = 0.0
+    #: Sampled hot-coverage curve ``(n_hot, access_coverage)`` from the
+    #: trace's merged row counters: what fraction of row accesses the
+    #: hottest ``n_hot`` rows absorb.  Empty = no trace row counts,
+    #: hot_fraction candidates price as no-ops.
+    hot_coverage: tuple[tuple[int, float], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -216,6 +231,8 @@ def measure_workload_from_run(config, world_size: int, result) -> MeasuredWorklo
                 delayed_rows=st.delayed_rows,
                 ids_bytes=st.coalesced_rows * 8.0,
                 lookup_bytes=st.coalesced_rows * world_size * row_payload,
+                vocab_rows=float(st.vocab_size),
+                hot_coverage=_coverage_curve(bundle, name),
             )
         )
     return MeasuredWorkload(
@@ -227,6 +244,34 @@ def measure_workload_from_run(config, world_size: int, result) -> MeasuredWorklo
         measured_step_s=step_s,
         measured_stall_frac=stall_frac,
     )
+
+
+def _coverage_curve(
+    bundle, table: str, samples: int = 32
+) -> tuple[tuple[int, float], ...]:
+    """Sample the trace's row-access CDF into ``(n_hot, coverage)`` pairs."""
+    cdf = getattr(bundle, "row_cdf", None)
+    if cdf is None:
+        return ()
+    _ids, _counts, coverage = cdf(table)
+    if not len(coverage):
+        return ()
+    idxs = np.unique(
+        np.linspace(0, len(coverage) - 1, num=min(samples, len(coverage))).astype(int)
+    )
+    return tuple((int(i) + 1, float(coverage[i])) for i in idxs)
+
+
+def _hot_coverage(load: TableLoad, hot_fraction: float) -> float:
+    """Fraction of this table's row accesses a ``hot_fraction`` hot set
+    absorbs, interpolated on the measured coverage curve (0.0 without a
+    curve: an unknowable hot set is priced as buying nothing)."""
+    if hot_fraction <= 0.0 or not load.hot_coverage or load.vocab_rows <= 0:
+        return 0.0
+    n_hot = hot_fraction * load.vocab_rows
+    ns = np.array([n for n, _ in load.hot_coverage], dtype=float)
+    cov = np.array([c for _, c in load.hot_coverage], dtype=float)
+    return float(np.interp(n_hot, ns, cov, left=0.0))
 
 
 def calibrate_overhead(
@@ -359,8 +404,25 @@ def predict_candidate(
                 resource="comm", kind="comm",
                 priority=PRIORITY_URGENT, deps=[fwd],
             )
+            dense_prio = min((p for p, _ in buckets), default=0.0)
             for t in workload.tables:
-                prior_b, delayed_b = t.prior_bytes, t.delayed_bytes
+                # Hybrid placement: the hot set absorbs `cover` of the
+                # row accesses — its gradient rows leave the AlltoAll /
+                # lookup lanes and ride a dense-lane allreduce (masks +
+                # value blocks + the reassembly allgather, ~2x the
+                # gradient payload for fully-shared rows).
+                cover = _hot_coverage(t, k.hot_fraction)
+                prior_b = t.prior_bytes * (1.0 - cover)
+                delayed_b = t.delayed_bytes * (1.0 - cover)
+                if cover > 0.0:
+                    hot = f"hot:{i}:{t.name}"
+                    hot_b = 2.0 * cover * (t.prior_bytes + t.delayed_bytes)
+                    g.add_task(
+                        hot, cost.allreduce(hot_b).seconds,
+                        resource="comm", kind="comm",
+                        priority=dense_prio, deps=[fwd],
+                    )
+                    sparse_done.append(hot)
                 if k.delayed_min_rows and 0 < t.delayed_rows < k.delayed_min_rows:
                     prior_b, delayed_b = prior_b + delayed_b, 0.0
                 prior = f"prior:{i}:{t.name}"
@@ -410,13 +472,31 @@ def predict_candidate(
         if candidate.strategy == "embrace":
             for name, prior in refresh_tasks:
                 load = next(t for t in workload.tables if t.name == name)
+                # Hot rows are never stale, so they drop out of the
+                # hoisted refresh lookup entirely.
+                lookup_b = load.lookup_bytes * (
+                    1.0 - _hot_coverage(load, k.hot_fraction)
+                )
                 r = f"refresh:{i}:{name}"
                 g.add_task(
-                    r, cost.alltoall(load.lookup_bytes).seconds,
+                    r, cost.alltoall(lookup_b).seconds,
                     resource="comm", kind="comm",
                     priority=PRIORITY_URGENT, deps=[opt, prior],
                 )
                 prev_refresh.append(r)
+            if k.repartition_interval and (i + 1) % k.repartition_interval == 0:
+                # Drift boundary: counter allgather + migration, gating
+                # the next step like a refresh does.
+                rp = f"repartition:{i}"
+                g.add_task(
+                    rp,
+                    cost.allgather(
+                        sum(t.vocab_rows * 8.0 for t in workload.tables)
+                    ).seconds,
+                    resource="comm", kind="comm",
+                    priority=PRIORITY_URGENT, deps=[opt],
+                )
+                prev_refresh.append(rp)
         # The loss wait closes the step on the training thread.
         prev_opt = opt
         prev_refresh = prev_refresh + [loss]

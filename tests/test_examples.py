@@ -71,6 +71,15 @@ class TestExamples:
         assert "torn batches (version-mixed reads): 0" in out
         assert "p50 ms" in out and "qps" in out
 
+    def test_placement_study(self):
+        out = run_example(
+            "placement_study.py", "--steps", "10", "--requests", "10",
+        )
+        assert "learned plan [trace]" in out
+        assert "losses bit-identical to offline replay (all runs): True" in out
+        assert "torn batches (version-mixed reads): 0" in out
+        assert "0 mismatched" in out
+
     def test_autotune_study(self, tmp_path):
         out_json = tmp_path / "tuned.json"
         out = run_example(
