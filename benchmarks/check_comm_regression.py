@@ -20,6 +20,7 @@ required transport baseline):
 * ``BENCH_tune.json``  — :mod:`benchmarks.bench_tune`
 * ``BENCH_serve.json`` — :mod:`benchmarks.bench_serve`
 * ``BENCH_placement.json`` — :mod:`benchmarks.bench_placement`
+* ``BENCH_scale.json`` — :mod:`benchmarks.bench_scale`
 
 Run:  python benchmarks/check_comm_regression.py [--baseline BENCH_comm.json]
 """
@@ -39,6 +40,7 @@ DEFAULT_SERVE_BASELINE = os.path.join(HERE, os.pardir, "BENCH_serve.json")
 DEFAULT_PLACEMENT_BASELINE = os.path.join(
     HERE, os.pardir, "BENCH_placement.json"
 )
+DEFAULT_SCALE_BASELINE = os.path.join(HERE, os.pardir, "BENCH_scale.json")
 
 
 def load_baseline(path: str) -> dict | None:
@@ -245,6 +247,32 @@ def check_placement(baseline_path: str, tolerance: float) -> list[str]:
     return gate(baseline, tolerance, measure_fn, render, absolute_checks)
 
 
+def check_scale(baseline_path: str, tolerance: float) -> list[str]:
+    """Gate the hybrid-scaling baseline: inter-node exchange-reduction
+    and ladder-speedup ratio floors, plus bench_scale's absolute
+    criteria (bit-identical losses across the flat/hierarchical twins,
+    >= 30% fewer cross-node exchange bytes on the 2-node profile, no
+    ladder rung where the hierarchical wire is predicted slower)."""
+    baseline = load_baseline(baseline_path)
+    if baseline is None:
+        return []
+
+    from bench_scale import absolute_checks, measure, render
+
+    def measure_fn(meta):
+        return measure(
+            world=meta["world"],
+            steps=meta["steps"],
+            seed=meta["seed"],
+            backend=meta["backend"],
+            transport=meta["transport"],
+            sim_world=meta["sim_world"],
+            probe=meta["probe"],
+        )
+
+    return gate(baseline, tolerance, measure_fn, render, absolute_checks)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
@@ -269,6 +297,13 @@ def main() -> int:
     parser.add_argument(
         "--skip-placement", action="store_true",
         help="skip the hybrid-placement wire-bytes gate",
+    )
+    parser.add_argument(
+        "--scale-baseline", default=DEFAULT_SCALE_BASELINE
+    )
+    parser.add_argument(
+        "--skip-scale", action="store_true",
+        help="skip the hybrid two-level scaling gate",
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.30,
@@ -302,6 +337,9 @@ def main() -> int:
     if not args.skip_placement:
         print()
         failures += check_placement(args.placement_baseline, args.tolerance)
+    if not args.skip_scale:
+        print()
+        failures += check_scale(args.scale_baseline, args.tolerance)
     if failures:
         print("\nFAIL:", *failures, sep="\n  ")
         return 1

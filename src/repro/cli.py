@@ -8,6 +8,7 @@ Subcommands
 ``faults``      fault-injection degradation curves / crash-recovery demo
 ``trace``       export a simulated step timeline as a Chrome trace
 ``tune``        probe this host, fit alpha-beta, auto-tune the schedule
+``scale``       hybrid mode: real two-level twins + 64..1024 replay ladder
 ``serve``       serve sharded-embedding lookups during online training
 ``sizes``       print Table 1 (model/embedding sizes)
 """
@@ -231,6 +232,88 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from repro.engine.hybrid import run_hybrid, scale_bench_model
+    from repro.engine.run import RunConfig
+    from repro.models import get_config
+    from repro.tune import (
+        DEFAULT_PROBE_ITERS,
+        PROBE_SIZES_BYTES,
+        SMOKE_SIZES_BYTES,
+    )
+
+    if args.smoke:
+        # CI pipeline exercise: thread backend, 2 simulated nodes x 2
+        # ranks, tiny probes, a short ladder — real twins, per-level
+        # fit and replay all run in a couple of seconds.
+        model = scale_bench_model()
+        world, steps, backend, transport = 4, 2, "thread", None
+        sim_world: tuple[int, ...] | int | None = (16, 64)
+        sizes, iters = SMOKE_SIZES_BYTES, 3
+    else:
+        model = (
+            scale_bench_model()
+            if args.model == "scalebench"
+            else get_config(args.model).tiny()
+        )
+        world, steps = args.world, args.steps
+        backend = args.backend
+        transport = None if backend == "thread" else args.transport
+        sim_world = args.max_world
+        sizes, iters = PROBE_SIZES_BYTES, DEFAULT_PROBE_ITERS
+    res = run_hybrid(
+        RunConfig(
+            model=model,
+            mode="hybrid",
+            world_size=world,
+            steps=steps,
+            seed=args.seed,
+            backend=backend,
+            transport=transport,
+            sim_world=sim_world,
+        ),
+        probe_sizes_bytes=sizes,
+        probe_iters=iters,
+    )
+    report = res.raw
+    m = res.metrics
+    print(
+        f"real twins ({world} ranks, nodes="
+        f"{[list(n) for n in report.topology.nodes]}): losses bit-identical"
+        f" = {report.losses_identical}, inter-node bytes "
+        f"{m['real_inter_bytes_hier']:.0f} hier / "
+        f"{m['real_inter_bytes_flat']:.0f} flat "
+        f"(ratio {m['real_inter_ratio']:.3f}), node dedup "
+        f"{m['node_dedup']:.3f}"
+    )
+    pp = report.profile_point
+    print(
+        f"profile point (world {pp.world_size}): hierarchical exchange "
+        f"moves {pp.exchange_ratio:.3f}x the flat cross-node bytes"
+    )
+    print(f"\n{'world':>7} {'nodes':>6} {'flat ms':>9} {'hier ms':>9} "
+          f"{'speedup':>8} {'xratio':>7}")
+    for p in report.curve:
+        print(
+            f"{p.world_size:>7} {p.num_nodes:>6} "
+            f"{p.step_time_flat_s * 1e3:>9.2f} "
+            f"{p.step_time_hier_s * 1e3:>9.2f} "
+            f"{p.speedup:>8.3f} {p.exchange_ratio:>7.3f}"
+        )
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
+    if not report.losses_identical:
+        print("ERROR: hierarchical collectives diverged from the flat "
+              "loss curve", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -367,6 +450,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="CI pipeline check: thread backend, tiny probes, "
                         "<= 4 candidates")
     p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser(
+        "scale",
+        help="hybrid mode: real two-level twins, per-level alpha-beta "
+             "fit, 64..1024-rank replay ladder",
+    )
+    p.add_argument("--model", default="scalebench",
+                   choices=["scalebench"] + models,
+                   help="'scalebench' = the sparse-dominated GNMT "
+                        "derivative BENCH_scale uses; paper models run "
+                        "their tiny() config")
+    p.add_argument("--world", type=int, default=4,
+                   help="real ranks for the twin runs (split into 2 "
+                        "simulated nodes)")
+    p.add_argument("--steps", type=int, default=3)
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--backend", default="process", choices=("thread", "process"))
+    p.add_argument("--transport", default="shm", choices=("shm", "queue"))
+    p.add_argument("--max-world", type=int, default=None,
+                   help="top rung of the replay ladder (doubling from "
+                        "64); default: the 64..1024 ladder")
+    p.add_argument("--json", default=None,
+                   help="write the full HybridReport JSON here")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI pipeline check: thread backend, tiny probes, "
+                        "short ladder")
+    p.set_defaults(func=_cmd_scale)
 
     p = sub.add_parser(
         "serve",

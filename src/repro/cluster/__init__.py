@@ -11,6 +11,7 @@ from repro.cluster.topology import (
     rtx2080_cluster,
     rtx3090_cluster,
     tuned_cluster,
+    tuned_cluster_two_level,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "rtx3090_cluster",
     "rtx2080_cluster",
     "tuned_cluster",
+    "tuned_cluster_two_level",
 ]

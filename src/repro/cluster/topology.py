@@ -83,17 +83,35 @@ class ClusterSpec:
         """Per-message start latency (the paper's beta) for the worst link."""
         return self.inter_latency if self.multi_node else self.intra_latency
 
+    def nodes(self, world_size: int | None = None) -> tuple[tuple[int, ...], ...]:
+        """Ranks grouped by node, node-major: node ``i`` holds ranks
+        ``[i * gpus_per_node, (i + 1) * gpus_per_node)``.
+
+        With ``world_size`` the grouping is truncated (or extended, node
+        by node) to cover exactly that many ranks, filling nodes in
+        order — the grouping :meth:`with_workers` realises and the one
+        :class:`~repro.comm.NodeTopology` consumes.
+        """
+        world = self.world_size if world_size is None else world_size
+        check_positive("world_size", world)
+        out: list[tuple[int, ...]] = []
+        rank = 0
+        while rank < world:
+            hi = min(rank + self.gpus_per_node, world)
+            out.append(tuple(range(rank, hi)))
+            rank = hi
+        return tuple(out)
+
     def with_workers(self, world_size: int) -> "ClusterSpec":
-        """Sub-cluster using ``world_size`` GPUs, filling nodes in order.
+        """Cluster using ``world_size`` GPUs, filling nodes in order
+        and preserving the ranks-per-node ratio.
 
         Matches the paper's scaling experiments: 4 GPUs = one full node,
-        8 = two nodes, 16 = four nodes.
+        8 = two nodes, 16 = four nodes.  Scaling *past* the spec's own
+        ``world_size`` adds whole nodes of the same shape — how the
+        hybrid mode extrapolates a 2-node calibration to 64..1024 ranks.
         """
         check_positive("world_size", world_size)
-        if world_size > self.world_size:
-            raise ValueError(
-                f"requested {world_size} workers, cluster has {self.world_size}"
-            )
         if world_size <= self.gpus_per_node:
             return replace(self, name=f"{self.name}-{world_size}gpu",
                            num_nodes=1, gpus_per_node=world_size)
@@ -105,6 +123,20 @@ class ClusterSpec:
             self,
             name=f"{self.name}-{world_size}gpu",
             num_nodes=world_size // self.gpus_per_node,
+        )
+
+    def node_topology(self, world_size: int | None = None):
+        """The :class:`~repro.comm.NodeTopology` of this cluster (for
+        ``open_group(..., topology=)``); see :meth:`nodes` for the rank
+        grouping and the spec's link constants for per-level alpha/beta."""
+        from repro.comm.topology import NodeTopology
+
+        return NodeTopology(
+            nodes=self.nodes(world_size),
+            intra_latency=self.intra_latency,
+            intra_bandwidth=self.intra_bw,
+            inter_latency=self.inter_latency,
+            inter_bandwidth=self.inter_bw,
         )
 
 
@@ -140,6 +172,44 @@ def tuned_cluster(
         inter_bw=bandwidth,
         intra_latency=latency,
         inter_latency=latency,
+    )
+
+
+def tuned_cluster_two_level(
+    num_nodes: int,
+    gpus_per_node: int,
+    intra_bandwidth: float,
+    intra_latency: float,
+    inter_bandwidth: float,
+    inter_latency: float,
+    name: str = "tuned-2level",
+    gpu: GPUSpec | None = None,
+) -> ClusterSpec:
+    """A multi-node cluster whose per-level link constants come from a
+    two-level measurement (see ``repro.tune.probe_two_level``).
+
+    The intra constants are fitted on an intra-node sub-communicator and
+    the inter constants on the leader-to-leader level, so a
+    :class:`~repro.collectives.CostModel` over the returned spec prices
+    both flat and hierarchical collectives for the probed machine.
+    """
+    check_positive("num_nodes", num_nodes)
+    check_positive("gpus_per_node", gpus_per_node)
+    check_positive("intra_bandwidth", intra_bandwidth)
+    check_positive("inter_bandwidth", inter_bandwidth)
+    if intra_latency < 0 or inter_latency < 0:
+        raise ValueError("latencies must be >= 0")
+    from repro.cluster.hardware import CPU_HOST
+
+    return ClusterSpec(
+        name=name,
+        num_nodes=num_nodes,
+        gpus_per_node=gpus_per_node,
+        gpu=gpu if gpu is not None else CPU_HOST,
+        intra_bw=intra_bandwidth,
+        inter_bw=inter_bandwidth,
+        intra_latency=intra_latency,
+        inter_latency=inter_latency,
     )
 
 

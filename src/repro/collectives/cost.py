@@ -229,6 +229,170 @@ class CostModel:
         )
 
     # ------------------------------------------------------------------ #
+    # Two-level (node-aware) collectives — the repro.comm.hierarchy wires
+    # ------------------------------------------------------------------ #
+    def _transfer_on(self, msg_bytes: float, bandwidth: float, beta: float) -> float:
+        """Seconds for one message on a specific link (own latency)."""
+        if msg_bytes <= 0:
+            return beta
+        bw = effective_bandwidth(bandwidth, msg_bytes, self.half_utilization_bytes)
+        return msg_bytes / bw + beta
+
+    def hierarchical_allreduce(self, nbytes: float) -> CollectiveCost:
+        """Leader-hosted two-level allreduce (``two_level_allreduce``).
+
+        Intra level: the leader gathers ``w-1`` full arrays and later
+        broadcasts the result back (``2(w-1)`` full-array transfers on
+        the intra link).  Inter level: the leader walk moves this node's
+        home block (``nbytes/m``) around the ``m``-leader ring plus the
+        ``m-1`` assembly block exchanges — ``(2m-1)`` block messages on
+        the NIC, *per node* instead of the flat ring's per rank.  Wire
+        bytes count the leader's sends (the busiest worker).
+        """
+        check_non_negative("nbytes", nbytes)
+        c = self.cluster
+        if self.N == 1:
+            return CollectiveCost(0.0, 0.0, 0)
+        if not c.multi_node:
+            return self.allreduce(nbytes)
+        w, m = c.gpus_per_node, c.num_nodes
+        block = nbytes / m
+        intra_msgs = 2 * (w - 1)
+        inter_msgs = 2 * m - 1
+        seconds = intra_msgs * self._transfer_on(
+            nbytes, c.intra_bw, c.intra_latency
+        ) + inter_msgs * self._transfer_on(block, c.inter_bw, c.inter_latency)
+        wire = (w - 1) * nbytes + inter_msgs * block
+        return CollectiveCost(seconds, wire, intra_msgs + inter_msgs)
+
+    def hierarchical_alltoall(
+        self, payload_bytes: float, node_dedup: float = 1.0
+    ) -> CollectiveCost:
+        """Node-coalesced sparse exchange (``two_level_alltoall_shards``).
+
+        Each member hands its full ``payload_bytes`` to the leader
+        (``w-1`` intra gathers), the leader merges the node's parts —
+        shrinking them to ``node_dedup`` of their sum by intra-node
+        duplicate-row overlap — and sends each other leader that node's
+        column range of the merged gradient (``m-1`` NIC messages of
+        ``node_dedup * w * payload * w/N``), then scatters per-member
+        shards back (``w-1`` intra messages).  Wire bytes count the
+        leader's sends.
+        """
+        check_non_negative("payload_bytes", payload_bytes)
+        if not 0.0 < node_dedup <= 1.0:
+            raise ValueError(
+                f"node_dedup must be in (0, 1], got {node_dedup!r}"
+            )
+        c = self.cluster
+        if self.N == 1:
+            return CollectiveCost(0.0, 0.0, 0)
+        if not c.multi_node:
+            return self.alltoall(payload_bytes)
+        w, m = c.gpus_per_node, c.num_nodes
+        node_payload = node_dedup * w * payload_bytes
+        inter_msg = node_payload * w / self.N
+        shard = node_payload / self.N * m  # merged global rows, 1/N columns
+        seconds = (
+            (w - 1) * self._transfer_on(payload_bytes, c.intra_bw, c.intra_latency)
+            + (m - 1) * self._transfer_on(inter_msg, c.inter_bw, c.inter_latency)
+            + (w - 1) * self._transfer_on(shard, c.intra_bw, c.intra_latency)
+        )
+        wire = (m - 1) * inter_msg + (w - 1) * shard
+        return CollectiveCost(wire_bytes=wire, seconds=seconds,
+                              num_messages=(m - 1) + 2 * (w - 1))
+
+    def hierarchical_allgather(
+        self, payload_bytes: float, node_dedup: float = 1.0
+    ) -> CollectiveCost:
+        """Node-coalesced sparse allgather (``two_level_allreduce_sparse``).
+
+        ``w-1`` intra gathers of ``payload_bytes``, a leader-level
+        allgather of the merged node payload (``m-1`` NIC transfers of
+        ``node_dedup * w * payload``), and an intra broadcast of the
+        merged global result.
+        """
+        check_non_negative("payload_bytes", payload_bytes)
+        if not 0.0 < node_dedup <= 1.0:
+            raise ValueError(
+                f"node_dedup must be in (0, 1], got {node_dedup!r}"
+            )
+        c = self.cluster
+        if self.N == 1:
+            return CollectiveCost(0.0, 0.0, 0)
+        if not c.multi_node:
+            return self.allgather(payload_bytes)
+        w, m = c.gpus_per_node, c.num_nodes
+        node_payload = node_dedup * w * payload_bytes
+        global_payload = node_dedup * self.N * payload_bytes
+        seconds = (
+            (w - 1) * self._transfer_on(payload_bytes, c.intra_bw, c.intra_latency)
+            + (m - 1) * self._transfer_on(node_payload, c.inter_bw, c.inter_latency)
+            + (w - 1) * self._transfer_on(global_payload, c.intra_bw, c.intra_latency)
+        )
+        wire = (m - 1) * node_payload + (w - 1) * global_payload
+        return CollectiveCost(wire_bytes=wire, seconds=seconds,
+                              num_messages=(m - 1) + 2 * (w - 1))
+
+    # ------------------------------------------------------------------ #
+    # Inter-node wire accounting (the BENCH_scale ``>=30%`` gate)
+    # ------------------------------------------------------------------ #
+    def inter_bytes_allreduce(self, nbytes: float, hierarchical: bool) -> float:
+        """Bytes crossing node boundaries, summed over *all* workers, for
+        one dense allreduce — the quantity ``InterNodeMeter`` measures.
+
+        Flat ring: each of the ``m`` node-boundary edges carries
+        ``2(N-1)`` chunks of ``nbytes/N``.  Hierarchical: the leader
+        walk's ``m`` home blocks plus ``m-1`` assembly blocks per
+        leader, ``(2m-1) * nbytes`` total.
+        """
+        check_non_negative("nbytes", nbytes)
+        c = self.cluster
+        if not c.multi_node:
+            return 0.0
+        m, N = c.num_nodes, self.N
+        if hierarchical:
+            return (2 * m - 1) * nbytes
+        return m * 2 * (N - 1) / N * nbytes
+
+    def inter_bytes_alltoall(
+        self, payload_bytes: float, hierarchical: bool, node_dedup: float = 1.0
+    ) -> float:
+        """Cross-node bytes of one sparse AlltoAll, summed over workers.
+
+        Flat: every rank sends ``(N-w)/N`` of its payload to other-node
+        peers.  Hierarchical: the same column ranges cross, but in the
+        node-merged gradient — ``node_dedup`` of the flat volume.  This
+        ratio is exactly the intra-node duplicate-row overlap, the
+        quantity the EmbRace tables' Zipf skew makes large.
+        """
+        check_non_negative("payload_bytes", payload_bytes)
+        c = self.cluster
+        if not c.multi_node:
+            return 0.0
+        N, w = self.N, c.gpus_per_node
+        flat = payload_bytes * (N - w)
+        return node_dedup * flat if hierarchical else flat
+
+    def inter_bytes_allgather(
+        self, payload_bytes: float, hierarchical: bool, node_dedup: float = 1.0
+    ) -> float:
+        """Cross-node bytes of one sparse allgather, summed over workers.
+
+        Flat ring: every one of the ``N`` per-rank payloads crosses each
+        of the ``m`` boundary edges once.  Hierarchical: only the ``m``
+        node-merged payloads travel leader-to-leader.
+        """
+        check_non_negative("payload_bytes", payload_bytes)
+        c = self.cluster
+        if not c.multi_node:
+            return 0.0
+        N, w, m = self.N, c.gpus_per_node, c.num_nodes
+        if hierarchical:
+            return m * (m - 1) * node_dedup * w * payload_bytes
+        return m * (N - 1) * payload_bytes
+
+    # ------------------------------------------------------------------ #
     # Symbolic Table 2 (pure alpha-beta, for the bench that reprints it)
     # ------------------------------------------------------------------ #
     def table2_symbolic(

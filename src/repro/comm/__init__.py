@@ -27,6 +27,12 @@ from repro.comm.arena import BufferArena, arena_counters, default_arena
 from repro.comm.backend import Communicator, payload_nbytes, ring_chunk_bounds
 from repro.comm.frames import decode_frames, encode_frames
 from repro.comm.group import BACKENDS, CommGroup, open_group
+from repro.comm.hierarchy import (
+    two_level_allreduce,
+    two_level_allreduce_hot_rows,
+    two_level_allreduce_sparse,
+    two_level_alltoall_shards,
+)
 from repro.comm.local import ThreadGroup, run_threaded
 from repro.comm.process import TRANSPORTS, ProcessGroup, run_multiprocess
 from repro.comm.sched import (
@@ -47,6 +53,15 @@ from repro.comm.sparse import (
     alltoall_column_shards,
     alltoall_lookup_results,
     column_slices,
+    merge_grouped,
+)
+from repro.comm.topology import (
+    InterNodeMeter,
+    NodeComms,
+    NodeTopology,
+    SubCommunicator,
+    as_topology,
+    node_comms,
 )
 
 __all__ = [
@@ -81,4 +96,15 @@ __all__ = [
     "alltoall_column_shards",
     "alltoall_lookup_results",
     "column_slices",
+    "merge_grouped",
+    "InterNodeMeter",
+    "NodeComms",
+    "NodeTopology",
+    "SubCommunicator",
+    "as_topology",
+    "node_comms",
+    "two_level_allreduce",
+    "two_level_allreduce_hot_rows",
+    "two_level_allreduce_sparse",
+    "two_level_alltoall_shards",
 ]

@@ -7,10 +7,9 @@ discusses, usable with any backend:
 * :func:`reduce_scatter` — the first half of ring AllReduce;
 * :func:`tree_allreduce` — recursive halving/doubling (latency-optimal
   for small tensors, the regime where ring's 2(N-1) steps lose);
-* :func:`hierarchical_allreduce` — BlueConnect-style two-level
-  reduction (intra-node ring + inter-node exchange + intra broadcast),
-  matching how NCCL exploits node locality (§6 "topology-aware
-  hierarchical collective communication");
+* :func:`hierarchical_allreduce` — deprecated shim over
+  :func:`~repro.comm.two_level_allreduce` (the topology-aware two-level
+  path in :mod:`repro.comm.hierarchy`, bit-identical to the flat ring);
 * :func:`alltoallv` — personalized exchange with per-peer row counts
   (what EmbRace's sparse exchanges actually need);
 * :func:`gather` / :func:`scatter` — rooted collectives used by the
@@ -111,98 +110,38 @@ def tree_allreduce(comm: Communicator, array: np.ndarray) -> np.ndarray:
     return array
 
 
-@traced_collective("hierarchical_allreduce")
 def hierarchical_allreduce(
     comm: Communicator, array: np.ndarray, gpus_per_node: int
 ) -> np.ndarray:
-    """Two-level AllReduce exploiting node locality.
+    """Deprecated shim over :func:`~repro.comm.two_level_allreduce`.
 
-    1. intra-node ring reduce-scatter among the node's ranks,
-    2. inter-node AllReduce of each chunk among same-local-rank peers,
-    3. intra-node allgather of the reduced chunks.
-
-    With ``gpus_per_node=1`` or a single node this degenerates to the
-    plain ring.  Ranks are laid out node-major (ranks 0..w-1 on node 0).
-    Input dtype is preserved; all chunk sends are contiguous slice views.
+    The original BlueConnect-style implementation predates the shm and
+    framed transports and was only ``allclose``-equal to the flat ring;
+    the replacement executes the flat ring's exact fold order on node
+    leaders (bit-identical) and accepts any
+    :class:`~repro.comm.NodeTopology`, including asymmetric nodes.  This
+    signature survives one release: build a topology and call
+    ``two_level_allreduce(comm, array, topology)`` instead.
     """
-    array = np.asarray(array)
+    import warnings
+
+    warnings.warn(
+        "hierarchical_allreduce(comm, array, gpus_per_node) is deprecated; "
+        "use repro.comm.two_level_allreduce(comm, array, topology) with a "
+        "NodeTopology (e.g. NodeTopology.symmetric(nodes, gpus_per_node))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.comm.hierarchy import two_level_allreduce
+    from repro.comm.topology import NodeTopology
+
     size = comm.world_size
     if size % gpus_per_node != 0:
         raise ValueError(
             f"world size {size} not divisible by gpus_per_node {gpus_per_node}"
         )
-    num_nodes = size // gpus_per_node
-    if num_nodes == 1 or gpus_per_node == 1:
-        return comm.allreduce(array)
-
-    node = comm.rank // gpus_per_node
-    local = comm.rank % gpus_per_node
-    flat_in = np.ascontiguousarray(array).reshape(-1)
-    out = np.empty_like(flat_in)
-    b = ring_chunk_bounds(flat_in.size, gpus_per_node)
-
-    # 1: intra-node reduce-scatter (ring among the node's ranks).
-    # Partial sums are forwarded as they form; only this rank's owned
-    # chunk is ever written locally.
-    base = node * gpus_per_node
-    right = base + (local + 1) % gpus_per_node
-    left = base + (local - 1) % gpus_per_node
-    partial = None
-    for step in range(gpus_per_node - 1):
-        send_idx = (local - step) % gpus_per_node
-        outgoing = flat_in[b[send_idx] : b[send_idx + 1]]
-        if step == 0:
-            comm.send(right, comm.snapshot(outgoing))
-        else:
-            comm.send_sum(right, partial, outgoing)
-        partial = comm.recv_view(left)
-    # After g-1 ring steps, local rank l owns fully-reduced chunk (l+1)%g.
-    owned = (local + 1) % gpus_per_node
-    my_chunk = out[b[owned] : b[owned + 1]]  # view: updates land in out
-    np.add(
-        np.asarray(partial).reshape(-1),
-        flat_in[b[owned] : b[owned + 1]],
-        out=my_chunk,
-    )
-
-    # 2: inter-node ring allreduce of my chunk among same-local ranks.
-    peers = [n * gpus_per_node + local for n in range(num_nodes)]
-    my_pos = peers.index(comm.rank)
-    sb = ring_chunk_bounds(my_chunk.size, num_nodes)
-    right_p = peers[(my_pos + 1) % num_nodes]
-    left_p = peers[(my_pos - 1) % num_nodes]
-    partial = None
-    for step in range(num_nodes - 1):
-        send_idx = (my_pos - step) % num_nodes
-        outgoing = my_chunk[sb[send_idx] : sb[send_idx + 1]]
-        if step == 0:
-            comm.send(right_p, comm.snapshot(outgoing))
-        else:
-            comm.send_sum(right_p, partial, outgoing)
-        partial = comm.recv_view(left_p)
-    owned_sub = (my_pos + 1) % num_nodes
-    np.add(
-        np.asarray(partial).reshape(-1),
-        my_chunk[sb[owned_sub] : sb[owned_sub + 1]],
-        out=my_chunk[sb[owned_sub] : sb[owned_sub + 1]],
-    )
-    for step in range(num_nodes - 1):
-        send_idx = (my_pos + 1 - step) % num_nodes
-        recv_idx = (my_pos - step) % num_nodes
-        comm.send(
-            right_p, comm.snapshot(my_chunk[sb[send_idx] : sb[send_idx + 1]])
-        )
-        comm.recv_into(left_p, my_chunk[sb[recv_idx] : sb[recv_idx + 1]])
-
-    # 3: intra-node allgather of the reduced chunks, straight into place.
-    current_idx = owned
-    for step in range(gpus_per_node - 1):
-        comm.send(
-            right, comm.snapshot(out[b[current_idx] : b[current_idx + 1]])
-        )
-        current_idx = (current_idx - 1) % gpus_per_node
-        comm.recv_into(left, out[b[current_idx] : b[current_idx + 1]])
-    return out.reshape(array.shape)
+    topology = NodeTopology.symmetric(size // gpus_per_node, gpus_per_node)
+    return two_level_allreduce(comm, np.asarray(array), topology)
 
 
 @traced_collective("alltoallv")

@@ -51,10 +51,13 @@ class _GroupEntry:
     ``None`` everywhere else.
     """
 
-    def __init__(self, fn: Callable, plan, trace: TraceConfig | None):
+    def __init__(
+        self, fn: Callable, plan, trace: TraceConfig | None, topology=None
+    ):
         self.fn = fn
         self.plan = plan
         self.trace = trace
+        self.topology = topology
 
     def __call__(self, comm, *args, **kwargs):
         faulty = None
@@ -62,6 +65,11 @@ class _GroupEntry:
             from repro.faults.inject import FaultyCommunicator
 
             comm = faulty = FaultyCommunicator(comm, self.plan)
+        if self.topology is not None:
+            # Advertised on the communicator the rank function sees, so
+            # topology-aware consumers (RealTrainer, two_level_* calls)
+            # can discover node structure without extra plumbing.
+            comm.topology = self.topology
         recorder = None
         if self.trace is not None:
             recorder = SpanRecorder.from_config(comm.rank, self.trace)
@@ -120,9 +128,18 @@ class CommGroup:
         timeout: float | None = None,
         trace=None,
         profile=None,
+        topology=None,
     ):
         check_positive("world_size", world_size)
         check_in("backend", backend, set(BACKENDS))
+        from repro.comm.topology import as_topology
+
+        topology = as_topology(topology)
+        if topology is not None and topology.world_size != world_size:
+            raise ValueError(
+                f"topology covers {topology.world_size} ranks but "
+                f"world_size is {world_size}"
+            )
         if transport is None:
             transport = getattr(profile, "transport", None) or "shm"
         check_in("transport", transport, set(TRANSPORTS))
@@ -137,6 +154,7 @@ class CommGroup:
         self.transport = transport
         self.faults = faults
         self.timeout = timeout
+        self.topology = topology
         self.trace = as_trace_config(trace)
         #: Merged trace of the most recent traced ``run`` (rank 0 merge);
         #: ``None`` when tracing is off.
@@ -161,7 +179,7 @@ class CommGroup:
     def run(self, fn: Callable, *args, **kwargs) -> list[Any]:
         """Run ``fn(comm, *args, **kwargs)`` on every rank; results in
         rank order."""
-        entry = _GroupEntry(fn, self.faults, self.trace)
+        entry = _GroupEntry(fn, self.faults, self.trace, self.topology)
         if self.backend == "thread":
             outs = run_threaded(
                 self.world_size, entry, *args, timeout=self.timeout, **kwargs
@@ -187,6 +205,7 @@ def open_group(
     timeout: float | None = None,
     trace=None,
     profile=None,
+    topology=None,
 ) -> CommGroup:
     """Open a communicator group: the one factory for backends, fault
     injection, and tracing.
@@ -216,6 +235,13 @@ def open_group(
         Optional :class:`~repro.tune.TunedProfile`.  Supplies the
         default ``transport`` (an explicit ``transport=`` argument
         wins); when neither is given the default stays ``"shm"``.
+    topology:
+        Optional node structure: a
+        :class:`~repro.comm.NodeTopology`, a ``to_dict`` payload, or a
+        :class:`~repro.cluster.ClusterSpec` (coerced via
+        :func:`~repro.comm.as_topology`).  Installed as
+        ``comm.topology`` on every rank's communicator so the two-level
+        collectives and the trainer can pick it up.
     """
     return CommGroup(
         world_size,
@@ -225,6 +251,7 @@ def open_group(
         timeout=timeout,
         trace=trace,
         profile=profile,
+        topology=topology,
     )
 
 

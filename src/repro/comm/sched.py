@@ -131,6 +131,18 @@ class SchedKnobs:
     so like every other knob these only move bytes, never arithmetic.
     ``0.0`` / ``0`` (the defaults) keep uniform column sharding unless
     an explicit ``placement=`` plan is passed.
+
+    ``hier_dense`` / ``hier_sparse`` / ``hier_hot`` select the two-level
+    collectives of :mod:`repro.comm.hierarchy` for the dense bucket
+    lane, the prior/delayed sparse exchanges, and the hot-row lane
+    respectively.  Tri-state: ``None`` (the default) means *automatic* —
+    hierarchical whenever the run has a multi-node
+    :class:`~repro.comm.NodeTopology`, flat otherwise; ``True`` /
+    ``False`` pin the choice so ``repro.tune`` can search
+    flat-vs-hierarchical per exchange.  With a topology present both
+    settings produce bit-identical results (the flat paths then use the
+    node-grouped ``fold_groups`` merge); without one, forcing ``True``
+    is a no-op.
     """
 
     chunk_elems: int = DEFAULT_CHUNK_ELEMS
@@ -140,6 +152,9 @@ class SchedKnobs:
     dense_switch_density: float = 1.0
     hot_fraction: float = 0.0
     repartition_interval: int = 0
+    hier_dense: bool | None = None
+    hier_sparse: bool | None = None
+    hier_hot: bool | None = None
 
     def __post_init__(self):
         if not isinstance(self.chunk_elems, int) or self.chunk_elems <= 0:
@@ -185,6 +200,21 @@ class SchedKnobs:
                 f"repartition_interval must be an int >= 0, "
                 f"got {self.repartition_interval!r}"
             )
+        for name in ("hier_dense", "hier_sparse", "hier_hot"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, bool):
+                raise ValueError(
+                    f"{name} must be True, False, or None (auto), got {value!r}"
+                )
+
+    def hierarchical(self, lane: str, multi_node: bool) -> bool:
+        """Resolve a ``hier_*`` tri-state for one lane (``"dense"``,
+        ``"sparse"``, ``"hot"``): explicit setting wins, ``None`` means
+        hierarchical exactly when the topology is multi-node."""
+        value = getattr(self, f"hier_{lane}")
+        if value is None:
+            return multi_node
+        return bool(value) and multi_node
 
     def to_dict(self) -> dict:
         """Plain-dict form (JSON-ready); inverse of ``from_dict``."""
@@ -399,6 +429,7 @@ class CommScheduler:
         label: str = "",
         chunk_elems: int = DEFAULT_CHUNK_ELEMS,
         max_chunks: int = DEFAULT_MAX_CHUNKS,
+        topology: Any = None,
     ) -> list[CommHandle]:
         """Submit a dense sum-AllReduce of ``flat`` as preemptible chunks.
 
@@ -407,6 +438,12 @@ class CommScheduler:
         global sum once every returned handle is waited.  Chunk bounds
         depend on the element count only — both overlap modes and all
         ranks reduce identically.
+
+        ``topology`` (a multi-node :class:`~repro.comm.NodeTopology`)
+        switches each chunk to the two-level
+        :func:`~repro.comm.two_level_allreduce` — bit-identical to the
+        flat ring, but bulk bytes cross the node boundary once per node
+        instead of once per rank.
         """
         if flat.ndim != 1 or not flat.flags.c_contiguous:
             raise ValueError("allreduce_chunks requires a 1-D contiguous array")
@@ -415,8 +452,17 @@ class CommScheduler:
         for i in range(len(bounds) - 1):
             view = flat[bounds[i] : bounds[i + 1]]
 
-            def run(comm: Communicator, view=view) -> None:
-                comm.allreduce(view, out=view)
+            if topology is not None and topology.multi_node:
+
+                def run(comm: Communicator, view=view) -> None:
+                    from repro.comm.hierarchy import two_level_allreduce
+
+                    two_level_allreduce(comm, view, topology, out=view)
+
+            else:
+
+                def run(comm: Communicator, view=view) -> None:
+                    comm.allreduce(view, out=view)
 
             handles.append(
                 self.submit(run, priority=priority, label=f"{label}#c{i}")

@@ -87,6 +87,51 @@ def _crossed(union_size: int, num_rows: int, dense_switch: float) -> bool:
     )
 
 
+def _check_fold_groups(fold_groups, world: int) -> tuple[int, ...] | None:
+    if fold_groups is None:
+        return None
+    groups = tuple(int(g) for g in fold_groups)
+    if any(g < 1 for g in groups) or sum(groups) != world:
+        raise ValueError(
+            f"fold_groups {fold_groups!r} must be positive sizes summing to "
+            f"world size {world}"
+        )
+    return groups
+
+
+def merge_grouped(
+    parts: list[tuple[np.ndarray, np.ndarray]],
+    num_rows: int,
+    dim: int,
+    dtype,
+    groups: tuple[int, ...],
+) -> SparseRows:
+    """Node-grouped canonical sum: merge each group's consecutive parts
+    (rank order), then merge the group results (group order).
+
+    This nested :meth:`~repro.tensors.SparseRows.merge_coalesced` is the
+    fold the two-level sparse collectives execute physically (the inner
+    merge happens on the node before rows cross the NIC), so running the
+    *flat* collectives with ``fold_groups=topology.node_sizes`` yields
+    bit-identical results to the hierarchical wires.  Single-rank groups
+    pass through unmerged, exactly as a single-rank node's gradient does.
+    """
+    if len(parts) != sum(groups):
+        raise ValueError(f"{len(parts)} parts cannot fold into groups {groups!r}")
+    outer: list[tuple[np.ndarray, np.ndarray]] = []
+    i = 0
+    for g in groups:
+        if g == 1:
+            outer.append(parts[i])
+        else:
+            merged = SparseRows.merge_coalesced(
+                parts[i : i + g], num_rows, dim, dtype=dtype
+            )
+            outer.append((merged.indices, merged.values))
+        i += g
+    return SparseRows.merge_coalesced(outer, num_rows, dim, dtype=dtype)
+
+
 @traced_collective("allgather_sparse")
 def allgather_sparse(comm: Communicator, grad: SparseRows) -> list[SparseRows]:
     """Gather every rank's sparse gradient (Horovod-AllGather semantics)."""
@@ -98,7 +143,12 @@ def allgather_sparse(comm: Communicator, grad: SparseRows) -> list[SparseRows]:
 
 
 @traced_collective("allreduce_sparse")
-def allreduce_sparse_via_allgather(comm: Communicator, grad: SparseRows) -> SparseRows:
+def allreduce_sparse_via_allgather(
+    comm: Communicator,
+    grad: SparseRows,
+    *,
+    fold_groups: tuple[int, ...] | None = None,
+) -> SparseRows:
     """Sum of all ranks' sparse gradients, coalesced, rank-ordered.
 
     Each rank's gradient is coalesced locally before the exchange (as
@@ -107,11 +157,22 @@ def allreduce_sparse_via_allgather(comm: Communicator, grad: SparseRows) -> Spar
     contributions accumulate left-to-right in rank order.  That merge is
     *the* canonical cross-rank grouping: any strategy summing the same
     per-rank gradients the same way produces bit-identical results.
+
+    ``fold_groups`` (a topology's node sizes) switches the grouping to
+    the node-grouped nested fold of :func:`merge_grouped` — the order
+    the two-level sparse collectives produce — so flat and hierarchical
+    runs over the same topology stay bit-identical to each other.
     """
+    groups = _check_fold_groups(fold_groups, comm.world_size)
     parts = allgather_sparse(comm, grad.coalesce())
     first = parts[0]
+    pairs = [(p.indices, p.values) for p in parts]
+    if groups is not None:
+        return merge_grouped(
+            pairs, first.num_rows, first.dim, first.values.dtype, groups
+        )
     return SparseRows.merge_coalesced(
-        [(p.indices, p.values) for p in parts],
+        pairs,
         first.num_rows,
         first.dim,
         dtype=first.values.dtype,
@@ -269,6 +330,7 @@ def alltoall_column_shards(
     arena: BufferArena | None = None,
     table: str | None = None,
     shards: list[slice] | None = None,
+    fold_groups: tuple[int, ...] | None = None,
 ) -> SparseRows:
     """EmbRace gradient exchange: return this rank's column shard of the
     globally-summed sparse gradient.
@@ -302,9 +364,22 @@ def alltoall_column_shards(
     property of the table's :class:`~repro.placement.TablePlacement`
     now, and only the uniform :func:`column_slices` partition was ever
     supported.
+
+    ``fold_groups`` (a topology's node sizes) switches the receive
+    merge to the node-grouped fold of :func:`merge_grouped`, matching
+    :func:`~repro.comm.hierarchy.two_level_alltoall_shards` bit for
+    bit.  Grouped folds require the fully-sparse wire
+    (``dense_switch=1.0``): the densified path accumulates in rank
+    order only.
     """
     if not 0.0 <= dense_switch <= 1.0:
         raise ValueError(f"dense_switch must be in [0, 1], got {dense_switch!r}")
+    groups = _check_fold_groups(fold_groups, comm.world_size)
+    if groups is not None and dense_switch < 1.0:
+        raise ValueError(
+            "fold_groups requires dense_switch=1.0 (the densified wire "
+            "cannot reproduce the node-grouped fold)"
+        )
     grad = grad.coalesce()
     world, rank = comm.world_size, comm.rank
     if shards is not None:
@@ -427,6 +502,8 @@ def alltoall_column_shards(
         # the runs directly instead of sorting their concatenation —
         # bit-identical, and it skips the argsort + reduceat that
         # dominated the step.
+        if groups is not None:
+            return merge_grouped(parts, num_rows, my_width, vdtype, groups)
         return SparseRows.merge_coalesced(parts, num_rows, my_width, dtype=vdtype)
     finally:
         comm.release_views()
@@ -482,6 +559,7 @@ def allreduce_hot_rows(
     *,
     table: str | None = None,
     arena: BufferArena | None = None,
+    fold_groups: tuple[int, ...] | None = None,
 ) -> SparseRows:
     """Dense-lane exchange of a *replicated hot row set*'s gradients.
 
@@ -508,7 +586,14 @@ def allreduce_hot_rows(
     Sent bytes are tallied as ``wire_bytes.hot_lane`` plus
     ``wire_bytes.table.<name>`` when ``table`` is given, so the
     replicated-row dense traffic is attributed to its owning table.
+
+    ``fold_groups`` (a topology's node sizes) nests the owner merge:
+    each group's parts merge first (rank order), then the group results
+    merge (group order) — the fold
+    :func:`~repro.comm.hierarchy.two_level_allreduce_hot_rows` executes
+    physically, so flat and hierarchical hot lanes agree bit for bit.
     """
+    fold_groups = _check_fold_groups(fold_groups, comm.world_size)
     grad = grad.coalesce()
     hot_ids = np.asarray(hot_ids, dtype=np.int64)
     n_hot = len(hot_ids)
@@ -558,16 +643,42 @@ def allreduce_hot_rows(
     acc = _take((width, dim), vdtype)
     seen = _take(width, np.bool_)
     seen[...] = False
-    for src in range(world):
-        m, b = received[src]
+
+    def _fold_part(t_acc, t_seen, m, b) -> None:
         p = np.flatnonzero(np.asarray(m))
         if not p.size:
-            continue
+            return
         vals = np.asarray(b).reshape(p.size, dim)
-        fresh = ~seen[p]
-        acc[p[fresh]] = vals[fresh]  # assign first touch: -0.0 survives
-        acc[p[~fresh]] += vals[~fresh]
-        seen[p] = True
+        fresh = ~t_seen[p]
+        t_acc[p[fresh]] = vals[fresh]  # assign first touch: -0.0 survives
+        t_acc[p[~fresh]] += vals[~fresh]
+        t_seen[p] = True
+
+    if fold_groups is None:
+        for src in range(world):
+            m, b = received[src]
+            _fold_part(acc, seen, m, b)
+    else:
+        # Node-grouped fold: merge each group's parts into scratch, then
+        # fold the group results — the two-level hot lane's exact order.
+        src = 0
+        g_acc = _take((width, dim), vdtype)
+        g_seen = _take(width, np.bool_)
+        for g in fold_groups:
+            if g == 1:
+                _fold_part(acc, seen, *received[src])
+                src += 1
+                continue
+            g_seen[...] = False
+            for _ in range(g):
+                _fold_part(g_acc, g_seen, *received[src])
+                src += 1
+            p = np.flatnonzero(g_seen)
+            if p.size:
+                fresh = ~seen[p]
+                acc[p[fresh]] = g_acc[p[fresh]]
+                acc[p[~fresh]] += g_acc[p[~fresh]]
+                seen[p] = True
 
     # -- allgather the merged ranges ------------------------------------- #
     my_pos = np.flatnonzero(seen)

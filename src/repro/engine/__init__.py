@@ -11,7 +11,7 @@
   multi-worker communication semantics (Fig. 11 and correctness tests).
 """
 
-from repro.engine.workload import WorkloadStats, measure_workload
+from repro.engine.workload import WorkloadStats, measure_node_dedup, measure_workload
 from repro.engine.step_simulator import StepReport, simulate_step
 from repro.engine.trainer_sim import ThroughputResult, simulate_training
 from repro.engine.trainer_real import (
@@ -21,12 +21,17 @@ from repro.engine.trainer_real import (
     TrainResult,
 )
 from repro.engine.run import RunConfig, RunResult, run
+from repro.engine.hybrid import HybridReport, ScalePoint, run_hybrid
 
 __all__ = [
     "RunConfig",
     "RunResult",
     "run",
+    "HybridReport",
+    "ScalePoint",
+    "run_hybrid",
     "WorkloadStats",
+    "measure_node_dedup",
     "measure_workload",
     "StepReport",
     "simulate_step",

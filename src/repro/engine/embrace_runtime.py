@@ -41,7 +41,10 @@ from repro.comm import (
     allreduce_hot_rows,
     alltoall_column_shards,
     alltoall_lookup_results,
+    as_topology,
     column_slices,
+    two_level_allreduce_hot_rows,
+    two_level_alltoall_shards,
 )
 from repro.nn.embedding import Embedding
 from repro.nn.parameter import Parameter
@@ -62,9 +65,31 @@ class EmbraceTableRuntime:
         betas: tuple[float, float] = (0.9, 0.999),
         placement: TablePlacement | PlacementPlan | None = None,
         columns: slice | None = None,
+        topology=None,
+        hier_sparse: bool | None = None,
+        hier_hot: bool | None = None,
     ):
         self.comm = comm
         self.table = table
+        # Node structure (tentpole): when a multi-node NodeTopology is
+        # in force, the flat wires fold node-grouped (``fold_groups``)
+        # so the physically two-level wires — selected per lane by the
+        # ``hier_*`` flags, default on — produce bit-identical sums.
+        topology = as_topology(topology)
+        if topology is None:
+            topology = getattr(comm, "topology", None)
+        if topology is not None and topology.world_size != comm.world_size:
+            raise ValueError(
+                f"topology covers {topology.world_size} ranks but the "
+                f"communicator has {comm.world_size}"
+            )
+        self.topology = topology
+        multi = topology is not None and topology.multi_node
+        self.fold_groups = topology.fold_groups if multi else None
+        self.hier_sparse = multi if hier_sparse is None else (
+            bool(hier_sparse) and multi
+        )
+        self.hier_hot = multi if hier_hot is None else bool(hier_hot) and multi
         self.name = table.weight.name.rsplit(".weight", 1)[0]
         cols = column_slices(table.embedding_dim, comm.world_size)
         if columns is not None:
@@ -153,9 +178,24 @@ class EmbraceTableRuntime:
         identical either way.  ``dense_switch`` forwards
         ``SchedKnobs.dense_switch_density`` to the collective's adaptive
         dense path (1.0 = historical bit-exact sparse wire format).
+
+        Under a multi-node topology the exchange is node-aware: the
+        two-level wire (``hier_sparse``, the default) coalesces each
+        node's rows at its leader before anything crosses the
+        inter-node boundary, and the flat wire folds node-grouped
+        (``fold_groups``) — the two produce bit-identical shards, so
+        the flag only moves bytes.
         """
+        if self.hier_sparse:
+            return two_level_alltoall_shards(
+                comm, part, self.topology, table=self.name
+            ).scale(scale)
         return alltoall_column_shards(
-            comm, part, dense_switch=dense_switch, table=self.name
+            comm,
+            part,
+            dense_switch=dense_switch,
+            table=self.name,
+            fold_groups=self.fold_groups,
         ).scale(scale)
 
     def split_hot_cold(self, grad: SparseRows) -> tuple[SparseRows, SparseRows]:
@@ -185,10 +225,17 @@ class EmbraceTableRuntime:
         Bit-identical to the AlltoAll column-shard sum for the same rows
         (rank-ordered assign-then-add merge; column slicing commutes with
         the per-row arithmetic), so routing a row hot vs cold never
-        changes loss bits.
+        changes loss bits.  Under a multi-node topology the hot lane is
+        node-aware too: two-level (``hier_hot``) or flat with the
+        node-grouped fold — bit-identical to each other.
         """
+        if self.hier_hot:
+            return two_level_allreduce_hot_rows(
+                comm, self.hot_ids, part, self.topology, table=self.name
+            ).scale(scale)
         return allreduce_hot_rows(
-            comm, self.hot_ids, part, table=self.name
+            comm, self.hot_ids, part, table=self.name,
+            fold_groups=self.fold_groups,
         ).scale(scale)
 
     def apply_part(self, shard_grad: SparseRows, final: bool) -> None:

@@ -84,7 +84,7 @@ class RunConfig:
     """
 
     model: ModelConfig
-    mode: str = "sim"  # "real" | "sim"
+    mode: str = "sim"  # "real" | "sim" | "hybrid"
     strategy: str = "embrace"
     world_size: int = 2
     steps: int = 4
@@ -100,9 +100,19 @@ class RunConfig:
     #: Hybrid hot/cold placement (anything repro.placement.as_placement
     #: accepts); None = uniform column sharding (real mode, embrace).
     placement: Any = None
+    #: Node structure for the real ranks (anything
+    #: :func:`repro.comm.as_topology` accepts).  Real mode: selects the
+    #: two-level collectives per the ``hier_*`` knobs.  Hybrid mode:
+    #: the shape of the calibration run (default: 2 nodes splitting
+    #: ``world_size``).
+    topology: Any = None
+    #: Hybrid mode: simulated world size(s) for the calibrated replay —
+    #: an int (doubling ladder from 64 up to it) or an explicit
+    #: sequence; ``None`` = the 64/128/256/512/1024 ladder.
+    sim_world: Any = None
 
     def __post_init__(self) -> None:
-        check_in("mode", self.mode, {"real", "sim"})
+        check_in("mode", self.mode, {"real", "sim", "hybrid"})
         check_positive("world_size", self.world_size)
         check_positive("steps", self.steps)
 
@@ -144,6 +154,10 @@ def run(config: RunConfig) -> RunResult:
     """Execute one cell per ``config.mode``; see :class:`RunResult`."""
     if config.mode == "sim":
         return _run_sim(config)
+    if config.mode == "hybrid":
+        from repro.engine.hybrid import run_hybrid
+
+        return run_hybrid(config)
     return _run_real(config)
 
 
@@ -183,6 +197,7 @@ def _run_real(config: RunConfig) -> RunResult:
             backend=config.backend,
             transport=config.transport,
             profile=config.profile,
+            topology=config.topology,
         )
     try:
         trainer = RealTrainer(
@@ -199,6 +214,7 @@ def _run_real(config: RunConfig) -> RunResult:
             knobs=config.knobs,
             profile=config.profile,
             placement=config.placement,
+            topology=config.topology,
         )
         result = trainer.train()
     finally:
@@ -208,6 +224,7 @@ def _run_real(config: RunConfig) -> RunResult:
     metrics: dict[str, float] = {
         "loss_final": result.losses[-1] if result.losses else float("nan"),
         "comm_bytes": float(result.comm_bytes),
+        "inter_bytes": float(result.inter_bytes),
         "tokens_per_sec": (
             sum(result.tokens_per_step) * config.world_size / result.wall_time
             if result.wall_time > 0

@@ -48,10 +48,12 @@ from repro.comm import (
     CommHandle,
     CommScheduler,
     Communicator,
+    InterNodeMeter,
     ProcessGroup,
     SchedComm,
     allreduce_sparse_adaptive,
     alltoall_column_shards,
+    as_topology,
     run_threaded,
 )
 from repro.comm.sched import DEFAULT_BUCKET_ELEMS, PRIORITY_URGENT, SchedKnobs
@@ -95,6 +97,10 @@ class TrainResult:
     tokens_per_step: list[int]
     state: dict[str, np.ndarray]
     comm_bytes: int = 0
+    #: Payload bytes that crossed a node boundary, summed over all ranks
+    #: (0 unless the run had a multi-node
+    #: :class:`~repro.comm.NodeTopology` installed).
+    inter_bytes: int = 0
     predictions: list[np.ndarray] = field(default_factory=list)
     val_losses: list[float] = field(default_factory=list)  # one per eval point
     wall_time: float = 0.0  # this rank's training-loop seconds
@@ -160,6 +166,7 @@ class RealTrainer:
         knobs: SchedKnobs | dict | None = None,
         profile=None,
         placement=None,
+        topology=None,
     ):
         """``dgc_ratio`` (optional) enables Deep-Gradient-Compression on
         the *dense* gradients: each rank top-k sparsifies with error
@@ -221,6 +228,24 @@ class RealTrainer:
         ``knobs.repartition_interval > 0`` the trainer re-learns the hot
         set from live row counters every interval and migrates to it
         mid-run (also bit-exact).
+
+        ``topology`` (anything :func:`repro.comm.as_topology` accepts: a
+        :class:`~repro.comm.NodeTopology`, its dict form, or a
+        :class:`~repro.cluster.ClusterSpec`) declares how ranks group
+        into nodes.  When it is multi-node, collectives default to the
+        topology-aware two-level algorithms — dense AllReduces run
+        leader-walked, sparse exchanges coalesce intra-node before rows
+        cross the node boundary — and the communicator is wrapped in an
+        :class:`~repro.comm.InterNodeMeter` so
+        :attr:`TrainResult.inter_bytes` (and the
+        ``wire_bytes.inter_node`` counter of traced runs) reports what
+        actually crossed nodes.  The ``hier_dense`` / ``hier_sparse`` /
+        ``hier_hot`` knobs select flat wires per lane instead; either
+        wire trains **bit-identically** at a fixed topology, because the
+        flat paths fold node-grouped whenever a multi-node topology is
+        in force.  ``topology=None`` falls back to ``comm.topology``
+        installed by ``open_group(..., topology=...)``, else flat
+        single-level behavior (the historical bits).
         """
         check_in("strategy", strategy, {"allgather", "allreduce", "embrace"})
         if backend is not None or transport is not None:
@@ -283,6 +308,15 @@ class RealTrainer:
         self.knobs = knobs
         self.profile = profile
         self.placement = as_placement(placement)
+        topology = as_topology(topology)
+        if topology is None and group is not None:
+            topology = getattr(group, "topology", None)
+        if topology is not None and topology.world_size != world_size:
+            raise ValueError(
+                f"topology covers {topology.world_size} ranks but "
+                f"world_size is {world_size}"
+            )
+        self.topology = topology
 
     # ------------------------------------------------------------------ #
     def __getstate__(self) -> dict:
@@ -501,6 +535,24 @@ class RealTrainer:
                 )
             extras = load_extras(checkpoint_path)
 
+        # Node structure: an explicit trainer topology wins, else
+        # whatever open_group(..., topology=...) installed on the
+        # communicator.  A multi-node topology wraps the comm in the
+        # inter-node byte meter and flips the lanes below to their
+        # two-level defaults (per the hier_* knobs).
+        topo = self.topology
+        if topo is None:
+            topo = getattr(comm, "topology", None)
+        meter: InterNodeMeter | None = None
+        if topo is not None and topo.multi_node:
+            comm = meter = InterNodeMeter(comm, topo)
+        dense_topo = (
+            topo
+            if topo is not None
+            and self.knobs.hierarchical("dense", topo.multi_node)
+            else None
+        )
+
         # The async comm engine: all in-loop collectives run as work
         # items on its comm thread (or inline when overlap=False, with
         # identical arithmetic).  ``coll`` is the synchronous facade for
@@ -526,7 +578,13 @@ class RealTrainer:
                 else:
                     tp = self.placement.for_table(name)
                 runtimes[name] = EmbraceTableRuntime(
-                    coll, table, lr=self.lr, placement=tp
+                    coll,
+                    table,
+                    lr=self.lr,
+                    placement=tp,
+                    topology=topo,
+                    hier_sparse=self.knobs.hier_sparse,
+                    hier_hot=self.knobs.hier_hot,
                 )
             self._restore_shard_state(runtimes, extras)
             if self.knobs.repartition_interval > 0:
@@ -632,6 +690,7 @@ class RealTrainer:
                             label=f"dense:b{i}",
                             chunk_elems=self.knobs.chunk_elems,
                             max_chunks=self.knobs.max_chunks,
+                            topology=dense_topo,
                         )
                         dense_flats.append((members, buf))
                 else:
@@ -745,6 +804,17 @@ class RealTrainer:
 
             self._flush_delayed(runtimes, pending_delayed)
             state = self._final_state(model, runtimes)
+            inter_bytes = 0
+            if meter is not None:
+                # Which ranks sit on a node boundary differs between the
+                # flat and two-level wires, so the honest figure is the
+                # cross-rank total (summed before the counter allreduce
+                # itself adds bytes).
+                inter_bytes = int(
+                    coll.allreduce(
+                        np.array([meter.inter_bytes_sent], dtype=np.int64)
+                    )[0]
+                )
         finally:
             # Joins the comm thread before the transport is handed back
             # (persistent pools reuse links across dispatches).
@@ -756,6 +826,7 @@ class RealTrainer:
             tokens_per_step=tokens,
             state=state,
             comm_bytes=comm.bytes_sent,
+            inter_bytes=inter_bytes,
             predictions=predictions,
             val_losses=val_losses,
         )

@@ -17,7 +17,8 @@ from repro.data import (
     Vocab,
 )
 from repro.models.config import ModelConfig, PAPER_MODELS
-from repro.schedule.vertical import EmbeddingGradStats, measure_grad_stats
+from repro.schedule.vertical import EmbeddingGradStats, _table_ids, measure_grad_stats
+from repro.tensors import unique_rows
 from repro.utils.validation import check_positive
 
 
@@ -125,6 +126,42 @@ def measure_workload(
         avg_tokens_per_batch=float(np.mean([b.num_tokens for b in batches])),
         avg_batch_size=float(np.mean([b.batch_size for b in batches])),
     )
+
+
+def measure_node_dedup(
+    config: ModelConfig,
+    topology,
+    gpu_kind: str = "rtx3090",
+    n_steps: int = 8,
+    seed: int = 0,
+) -> float:
+    """Intra-node duplicate-row factor of the sparse gradient exchange.
+
+    Samples the same per-rank batch stream the trainer consumes (batch
+    ``step * world + rank`` belongs to ``rank``) and compares, per node
+    and step, the union of its members' coalesced gradient rows against
+    their sum.  A row touched by several co-located ranks crosses the
+    NIC once under the node-coalesced AlltoAll instead of once per rank,
+    so this ratio is exactly the factor the hierarchical sparse wires
+    multiply inter-node payloads by (row indices and values both scale
+    with row count).  Tables are weighted by gradient row bytes;
+    1.0 means no intra-node overlap, smaller is better.
+    """
+    check_positive("n_steps", n_steps)
+    nodes = [list(node) for node in topology.nodes]
+    world = topology.world_size
+    batches = _sample(config, gpu_kind, world, n_steps, seed)
+    union_b = 0.0
+    sum_b = 0.0
+    for t in config.tables:
+        row_bytes = t.dim * 4 + 8  # float32 values + int64 row index
+        for step in range(n_steps):
+            group = batches[step * world : (step + 1) * world]
+            for node in nodes:
+                per_rank = [unique_rows(_table_ids(group[r], t.name)) for r in node]
+                union_b += np.unique(np.concatenate(per_rank)).size * row_bytes
+                sum_b += sum(u.size for u in per_rank) * row_bytes
+    return union_b / sum_b if sum_b > 0 else 1.0
 
 
 @lru_cache(maxsize=128)

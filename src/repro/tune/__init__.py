@@ -34,6 +34,7 @@ from repro.tune.fit import (
     fit_profile,
     link_fit_from_samples,
     probe_link,
+    probe_two_level,
 )
 from repro.tune.search import (
     Candidate,
@@ -66,6 +67,7 @@ __all__ = [
     "fit_alpha_beta",
     "link_fit_from_samples",
     "probe_link",
+    "probe_two_level",
     "fit_profile",
     "Candidate",
     "SearchSpace",

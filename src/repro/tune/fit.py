@@ -155,6 +155,122 @@ def _probe_rank(comm, n_elems: int, iters: int) -> int:
     return n_elems
 
 
+def _probe_level_rank(comm, level: str, n_elems: int, iters: int) -> int:
+    """Per-rank two-level probe body: AllReduces on one sub-communicator.
+
+    ``level="intra"`` probes this rank's node subgroup; ``level="inter"``
+    probes the leader ring (non-leaders return after the opening
+    barrier).  The topology arrives on ``comm.topology`` — installed by
+    ``open_group(..., topology=...)`` — so the function stays picklable
+    for the process backend.
+    """
+    from repro.comm.topology import node_comms
+
+    topology = comm.topology
+    nc = node_comms(comm, topology)
+    comm.barrier()
+    sub = nc.intra if level == "intra" else nc.inter
+    if sub is None or sub.world_size < 2:
+        return 0
+    buf = np.full(n_elems, float(comm.rank + 1), dtype=np.float32)
+    out = np.empty_like(buf)
+    sub.barrier()
+    for _ in range(iters):
+        sub.allreduce(buf, out=out)
+    return n_elems
+
+
+def probe_two_level(
+    topology,
+    *,
+    backend: str = "thread",
+    transport: str | None = None,
+    sizes_bytes: tuple[int, ...] = PROBE_SIZES_BYTES,
+    iters: int = DEFAULT_PROBE_ITERS,
+) -> "TunedProfile":
+    """Fit per-level alpha-beta parameters on a two-level topology.
+
+    Opens one real group over ``topology`` and probes each level with
+    the same multi-size AllReduce ladder as :func:`probe_link`: the
+    *intra* samples run on every node's intra sub-communicator
+    concurrently (so they see realistic same-host contention) and the
+    *inter* samples run on the leader ring only.  Rank 0 — a member of
+    node 0 and its leader — provides the measured spans for both fits.
+
+    Returns a two-level :class:`TunedProfile` whose ``links`` are keyed
+    ``"intra"`` / ``"inter"`` and whose ``meta`` records the probed
+    topology; :meth:`TunedProfile.to_cluster` turns it into a
+    :func:`~repro.cluster.tuned_cluster_two_level` spec, and
+    :meth:`TunedProfile.cost_model` accepts a ``world_size=`` override
+    so a 2-node calibration can price 64..1024-rank runs (the hybrid
+    mode's extrapolation).
+    """
+    from repro.comm import open_group
+    from repro.comm.topology import as_topology
+
+    topology = as_topology(topology)
+    if topology is None or not topology.multi_node:
+        raise ValueError("probe_two_level needs a multi-node NodeTopology")
+    if len(topology.nodes[0]) < 2:
+        raise ValueError(
+            "probe_two_level needs >= 2 ranks in node 0 to fit the intra level"
+        )
+    if iters < 2:
+        raise ValueError("iters must be >= 2 (first iteration is warmup)")
+    world = topology.world_size
+    attempts = 3
+    with open_group(
+        world, backend=backend, transport=transport, trace=True,
+        topology=topology,
+    ) as group:
+        for attempt in range(attempts):
+            samples: dict[str, list[ProbeSample]] = {"intra": [], "inter": []}
+            for nbytes in sizes_bytes:
+                n_elems = max(1, nbytes // 4)
+                for level in ("intra", "inter"):
+                    group.run(_probe_level_rank, level, n_elems, iters)
+                    durations = _allreduce_spans(group.last_trace)
+                    if len(durations) < iters:
+                        raise RuntimeError(
+                            f"expected {iters} {level} allreduce spans, "
+                            f"got {len(durations)}"
+                        )
+                    timed = durations[-(iters - 1):]
+                    samples[level].append(
+                        ProbeSample(
+                            nbytes=4 * n_elems, seconds=statistics.median(timed)
+                        )
+                    )
+            try:
+                links = {
+                    "intra": link_fit_from_samples(
+                        "intra", len(topology.nodes[0]), samples["intra"]
+                    ),
+                    "inter": link_fit_from_samples(
+                        "inter", topology.num_nodes, samples["inter"]
+                    ),
+                }
+                break
+            except ValueError:
+                # Scheduler jitter can hand a latency-dominated level a
+                # negative slope; re-sample rather than fail the run.
+                if attempt == attempts - 1:
+                    raise
+    return TunedProfile(
+        world_size=world,
+        backend=backend,
+        links=links,
+        meta={
+            "two_level": True,
+            "topology": topology.to_dict(),
+            "num_nodes": topology.num_nodes,
+            "gpus_per_node": len(topology.nodes[0]),
+            "probe_sizes_bytes": list(sizes_bytes),
+            "probe_iters": iters,
+        },
+    )
+
+
 def _allreduce_spans(bundle, rank: int = 0) -> list[float]:
     """Durations of the rank's ``allreduce`` spans, in execution order."""
     lane = f"comm:{rank}"
@@ -261,22 +377,76 @@ class TunedProfile:
             )
         return self.links[key]
 
-    def to_cluster(self, transport: str | None = None) -> "ClusterSpec":
-        """Single-node :class:`~repro.cluster.ClusterSpec` from a link fit."""
+    @property
+    def two_level(self) -> bool:
+        """True for profiles fitted by :func:`probe_two_level` (separate
+        ``"intra"`` / ``"inter"`` link fits plus topology metadata)."""
+        return (
+            bool(self.meta.get("two_level"))
+            and "intra" in self.links
+            and "inter" in self.links
+        )
+
+    def to_cluster(
+        self, transport: str | None = None, world_size: int | None = None
+    ) -> "ClusterSpec":
+        """A :class:`~repro.cluster.ClusterSpec` from the link fit(s).
+
+        Single-level profiles map to a one-node
+        :func:`~repro.cluster.tuned_cluster`; two-level profiles map to
+        a multi-node :func:`~repro.cluster.tuned_cluster_two_level` with
+        the fitted per-level constants.  ``world_size`` scales the
+        cluster past (or below) the probed size — two-level specs grow
+        by adding whole nodes of the probed shape, which is how a
+        handful of real ranks calibrates a 1000-rank replay.
+        """
+        world = self.world_size if world_size is None else world_size
+        if self.two_level:
+            from repro.cluster.topology import tuned_cluster_two_level
+
+            intra, inter = self.links["intra"], self.links["inter"]
+            gpn = int(self.meta.get("gpus_per_node", intra.world_size))
+            nodes = int(self.meta.get("num_nodes", inter.world_size))
+            base = tuned_cluster_two_level(
+                nodes,
+                gpn,
+                intra_bandwidth=intra.bandwidth_Bps,
+                intra_latency=intra.latency_s,
+                inter_bandwidth=inter.bandwidth_Bps,
+                inter_latency=inter.latency_s,
+            )
+            if world == base.world_size:
+                return base
+            if world <= gpn or world % gpn == 0:
+                return base.with_workers(world)
+            # Asymmetric probe topology (e.g. 3+2 nodes): price on the
+            # symmetric envelope — the closest spec the cost model takes.
+            return base
         from repro.cluster.topology import tuned_cluster
 
         link = self.link(transport)
         return tuned_cluster(
-            self.world_size,
+            world,
             bandwidth=link.bandwidth_Bps,
             latency=link.latency_s,
             name=f"tuned-{link.transport}",
         )
 
-    def cost_model(self, transport: str | None = None) -> "CostModel":
-        """Calibrated :class:`~repro.collectives.CostModel` for this host."""
+    def cost_model(
+        self, transport: str | None = None, world_size: int | None = None
+    ) -> "CostModel":
+        """Calibrated :class:`~repro.collectives.CostModel` for this host.
+
+        ``world_size`` overrides the priced scale (see
+        :meth:`to_cluster`) — the hybrid mode's replay ladder.
+        """
         from repro.collectives.cost import CostModel
 
+        if self.two_level or world_size is not None:
+            return CostModel(
+                self.to_cluster(transport, world_size),
+                half_utilization_bytes=0.0,
+            )
         return CostModel.from_profile(self, transport)
 
     # ------------------------------------------------------------------ #

@@ -60,6 +60,19 @@ class Candidate:
             parts.append(f"hot={k.hot_fraction:g}")
         if k.repartition_interval:
             parts.append(f"repart={k.repartition_interval}")
+        hier = {k.hier_dense, k.hier_sparse, k.hier_hot}
+        if hier == {True}:
+            parts.append("hier")
+        elif hier == {False}:
+            parts.append("flat")
+        elif hier != {None}:
+            parts.append(
+                "hier="
+                + "".join(
+                    "a" if v is None else ("1" if v else "0")
+                    for v in (k.hier_dense, k.hier_sparse, k.hier_hot)
+                )
+            )
         if self.transport:
             parts.append(self.transport)
         return " ".join(parts)
@@ -76,6 +89,11 @@ class SearchSpace:
     dense_switch_density: tuple[float, ...] = (1.0,)
     hot_fraction: tuple[float, ...] = (0.0,)
     repartition_interval: tuple[int, ...] = (0,)
+    #: Two-level collective selection applied to all three ``hier_*``
+    #: lanes at once: ``None`` = automatic (hierarchical iff the priced
+    #: cluster is multi-node), ``True`` / ``False`` pin it — put both in
+    #: the grid to search flat-vs-hierarchical on a two-level profile.
+    hier: tuple[bool | None, ...] = (None,)
     strategy: tuple[str, ...] = ("embrace",)
     transport: tuple[str | None, ...] = (None,)
 
@@ -83,7 +101,7 @@ class SearchSpace:
         for name in (
             "chunk_elems", "max_chunks", "bucket_elems",
             "delayed_min_rows", "dense_switch_density", "hot_fraction",
-            "repartition_interval", "strategy", "transport",
+            "repartition_interval", "hier", "strategy", "transport",
         ):
             if not getattr(self, name):
                 raise ValueError(f"SearchSpace.{name} must be non-empty")
@@ -101,11 +119,11 @@ class SearchSpace:
         """The grid in deterministic (itertools.product) order; knob
         validation happens in each :class:`~repro.comm.SchedKnobs`."""
         out = []
-        for ce, mc, be, dm, ds, hf, ri, st, tr in itertools.product(
+        for ce, mc, be, dm, ds, hf, ri, hi, st, tr in itertools.product(
             self.chunk_elems, self.max_chunks, self.bucket_elems,
             self.delayed_min_rows, self.dense_switch_density,
             self.hot_fraction, self.repartition_interval,
-            self.strategy, self.transport,
+            self.hier, self.strategy, self.transport,
         ):
             out.append(
                 Candidate(
@@ -114,6 +132,7 @@ class SearchSpace:
                         bucket_elems=be, delayed_min_rows=dm,
                         dense_switch_density=ds,
                         hot_fraction=hf, repartition_interval=ri,
+                        hier_dense=hi, hier_sparse=hi, hier_hot=hi,
                     ),
                     strategy=st,
                     transport=tr,
@@ -170,6 +189,31 @@ class MeasuredWorkload:
     #: measured-minus-simulated residual; knob-independent, so it shifts
     #: every candidate identically.
     step_overhead_s: float = 0.0
+    #: Intra-node duplicate-row overlap of the sparse gradients: the
+    #: node-merged payload as a fraction of its members' summed payloads
+    #: (1.0 = no overlap).  Measured by the hybrid mode from the real
+    #: twins' :class:`~repro.comm.InterNodeMeter` counts; prices the
+    #: hierarchical sparse exchanges' inter-node leg.
+    node_dedup: float = 1.0
+
+    def scaled_to(self, world_size: int) -> "MeasuredWorkload":
+        """Extrapolate this per-rank workload to another world size.
+
+        Per-rank compute spans and per-rank gradient payloads are
+        scale-free (the per-rank batch is fixed — the paper's weak
+        scaling); only the hoisted-refresh lookup volume grows with the
+        number of shards a rank's rows are scattered over
+        (``lookup_bytes`` is proportional to the world size).
+        """
+        if world_size == self.world_size:
+            return self
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size!r}")
+        f = world_size / self.world_size
+        tables = tuple(
+            replace(t, lookup_bytes=t.lookup_bytes * f) for t in self.tables
+        )
+        return replace(self, world_size=world_size, tables=tables)
 
 
 def _median_span(trace, lane: str, name: str) -> float:
@@ -335,6 +379,7 @@ def predict_candidate(
     workload: MeasuredWorkload,
     candidate: Candidate,
     n_steps: int = 3,
+    world_size: int | None = None,
 ) -> PredictedRun:
     """Build + execute the candidate's chained-step task graph.
 
@@ -342,9 +387,50 @@ def predict_candidate(
     lane (the scheduler's comm thread serving by priority) per the
     rank-0 view; collective durations come from the calibrated cost
     model.  Stall fraction uses the same §5.4 code path as real traces.
+
+    ``world_size`` replays the workload at a different scale (the
+    hybrid mode's 64..1024 ladder): the cost model prices on the
+    profile's cluster grown to that many workers and the workload's
+    scale-dependent volumes are extrapolated via
+    :meth:`MeasuredWorkload.scaled_to`.  On a multi-node cluster the
+    candidate's ``hier_*`` knobs pick the two-level collective prices
+    for the dense, sparse, and hot lanes — the same tri-state
+    resolution :class:`~repro.comm.CommScheduler` applies on real ranks.
     """
-    cost = profile.cost_model(candidate.transport)
+    cost = profile.cost_model(candidate.transport, world_size=world_size)
+    if world_size is not None and world_size != workload.world_size:
+        workload = workload.scaled_to(world_size)
     k = candidate.knobs
+    multi = cost.cluster.multi_node
+    hier_dense = k.hierarchical("dense", multi)
+    hier_sparse = k.hierarchical("sparse", multi)
+    hier_hot = k.hierarchical("hot", multi)
+    dedup = workload.node_dedup
+
+    def dense_cost(nbytes: float) -> float:
+        coll = (
+            cost.hierarchical_allreduce(nbytes)
+            if hier_dense
+            else cost.allreduce(nbytes)
+        )
+        return coll.seconds
+
+    def sparse_alltoall_cost(nbytes: float) -> float:
+        coll = (
+            cost.hierarchical_alltoall(nbytes, node_dedup=dedup)
+            if hier_sparse
+            else cost.alltoall(nbytes)
+        )
+        return coll.seconds
+
+    def sparse_allgather_cost(nbytes: float) -> float:
+        coll = (
+            cost.hierarchical_allgather(nbytes, node_dedup=dedup)
+            if hier_sparse
+            else cost.allgather(nbytes)
+        )
+        return coll.seconds
+
     buckets = _pack_buckets(list(workload.dense_param_sizes), k.bucket_elems)
     g = TaskGraph()
     prev_opt: str | None = None
@@ -377,7 +463,7 @@ def predict_candidate(
                 tname = f"dense:{i}:b{b}:c{c}"
                 g.add_task(
                     tname,
-                    cost.allreduce(elems * DTYPE_BYTES).seconds,
+                    dense_cost(elems * DTYPE_BYTES),
                     resource="comm", kind="comm", priority=prio, deps=[fwd],
                 )
                 dense_chunks.append(tname)
@@ -417,8 +503,13 @@ def predict_candidate(
                 if cover > 0.0:
                     hot = f"hot:{i}:{t.name}"
                     hot_b = 2.0 * cover * (t.prior_bytes + t.delayed_bytes)
+                    hot_cost = (
+                        cost.hierarchical_allreduce(hot_b)
+                        if hier_hot
+                        else cost.allreduce(hot_b)
+                    )
                     g.add_task(
-                        hot, cost.allreduce(hot_b).seconds,
+                        hot, hot_cost.seconds,
                         resource="comm", kind="comm",
                         priority=dense_prio, deps=[fwd],
                     )
@@ -427,13 +518,13 @@ def predict_candidate(
                     prior_b, delayed_b = prior_b + delayed_b, 0.0
                 prior = f"prior:{i}:{t.name}"
                 g.add_task(
-                    prior, cost.alltoall(prior_b).seconds,
+                    prior, sparse_alltoall_cost(prior_b),
                     resource="comm", kind="comm",
                     priority=PRIORITY_PRIOR, deps=[fwd, ids],
                 )
                 delayed = f"delayed:{i}:{t.name}"
                 g.add_task(
-                    delayed, cost.alltoall(delayed_b).seconds,
+                    delayed, sparse_alltoall_cost(delayed_b),
                     resource="comm", kind="comm",
                     priority=PRIORITY_DELAYED, deps=[fwd, ids],
                 )
@@ -450,7 +541,7 @@ def predict_candidate(
                 if k.dense_switch_density < 1.0:
                     sparse_b = min(sparse_b, t.dense_bytes)
                 g.add_task(
-                    sp, cost.allgather(sparse_b).seconds,
+                    sp, sparse_allgather_cost(sparse_b),
                     resource="comm", kind="comm",
                     priority=PRIORITY_URGENT, deps=[fwd],
                 )

@@ -70,10 +70,20 @@ class TestClusterSpec:
         assert c.with_workers(4).num_nodes == 1
         assert c.with_workers(8).num_nodes == 2
         assert c.with_workers(16).num_nodes == 4
-        with pytest.raises(ValueError):
-            c.with_workers(32)
+        # Scaling past the spec adds whole nodes of the same shape
+        # (used by hybrid mode to extrapolate a calibration).
+        grown = c.with_workers(32)
+        assert grown.num_nodes == 8
+        assert grown.gpus_per_node == c.gpus_per_node
         with pytest.raises(ValueError):
             c.with_workers(6)
+
+    def test_nodes_iterator(self):
+        c = rtx3090_cluster(num_nodes=2, gpus_per_node=4)
+        assert c.nodes() == ((0, 1, 2, 3), (4, 5, 6, 7))
+        # Truncated / extended groupings fill nodes in order.
+        assert c.nodes(6) == ((0, 1, 2, 3), (4, 5))
+        assert c.nodes(12) == ((0, 1, 2, 3), (4, 5, 6, 7), (8, 9, 10, 11))
 
     def test_rtx2080_lower_intra_bw(self):
         assert rtx2080_cluster().intra_bw < rtx3090_cluster().intra_bw

@@ -49,9 +49,13 @@ class TestExamples:
         out = run_example("convergence_equivalence.py", "--steps", "6")
         assert "Curves exactly identical: True" in out
 
-    def test_scaling_study_one_model(self):
-        out = run_example("scaling_study.py", "--models", "BERT-base")
-        assert "4->16 scaling" in out
+    def test_scaling_study_hybrid(self):
+        out = run_example(
+            "scaling_study.py", "--steps", "2", "--max-world", "16"
+        )
+        assert "losses bit-identical (hierarchical vs flat): True" in out
+        assert "batch-stream node dedup" in out
+        assert "replay ladder" in out
 
     def test_compression_study(self):
         out = run_example("compression_study.py", "--steps", "4")

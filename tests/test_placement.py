@@ -310,14 +310,16 @@ class TestDeprecatedShims:
         def worker(comm):
             grad = SparseRows(np.array([1]), np.ones((1, 8)), 4)
             shards = column_slices(8, comm.world_size)
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
-                alltoall_column_shards(comm, grad, shards=shards)
-            return [str(w.message) for w in caught]
+            alltoall_column_shards(comm, grad, shards=shards)
 
-        with open_group(2, backend="thread") as g:
-            outs = g.run(worker)
-        assert any("deprecated" in m for m in outs[0])
+        # ``catch_warnings`` mutates process-global state, so per-rank
+        # contexts in worker threads race; record from the main thread
+        # around the whole group run instead.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with open_group(2, backend="thread") as g:
+                g.run(worker)
+        assert any("deprecated" in str(w.message) for w in caught)
 
     def test_alltoall_non_uniform_shards_rejected(self):
         def worker(comm):
@@ -344,14 +346,13 @@ class TestDeprecatedShims:
         def worker(comm):
             table = Embedding(16, 8, rng=np.random.default_rng(1), name="t")
             cols = column_slices(8, comm.world_size)[comm.rank]
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
-                EmbraceTableRuntime(comm, table, columns=cols)
-            return [str(w.message) for w in caught]
+            EmbraceTableRuntime(comm, table, columns=cols)
 
-        with open_group(2, backend="thread") as g:
-            outs = g.run(worker)
-        assert any("deprecated" in m for m in outs[0])
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with open_group(2, backend="thread") as g:
+                g.run(worker)
+        assert any("deprecated" in str(w.message) for w in caught)
 
     def test_store_read_rows_columns_kwarg_warns(self):
         from repro.engine.embrace_runtime import EmbraceTableRuntime
@@ -361,18 +362,16 @@ class TestDeprecatedShims:
         def worker(comm):
             table = Embedding(16, 8, rng=np.random.default_rng(1), name="t")
             store = VersionedShardStore(EmbraceTableRuntime(comm, table))
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
-                store.read_rows(np.array([2]), columns=store.runtime.my_columns)
+            store.read_rows(np.array([2]), columns=store.runtime.my_columns)
             wrong = slice(0, 1) if store.runtime.my_columns != slice(0, 1) else slice(1, 2)
-            with warnings.catch_warnings(), pytest.raises(ValueError):
-                warnings.simplefilter("ignore")
+            with pytest.raises(ValueError):
                 store.read_rows(np.array([2]), columns=wrong)
-            return [str(w.message) for w in caught]
 
-        with open_group(2, backend="thread") as g:
-            outs = g.run(worker)
-        assert any("deprecated" in m for m in outs[0])
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with open_group(2, backend="thread") as g:
+                g.run(worker)
+        assert any("deprecated" in str(w.message) for w in caught)
 
 
 class TestKnobsAndSearch:
