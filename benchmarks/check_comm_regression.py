@@ -21,6 +21,7 @@ required transport baseline):
 * ``BENCH_serve.json`` — :mod:`benchmarks.bench_serve`
 * ``BENCH_placement.json`` — :mod:`benchmarks.bench_placement`
 * ``BENCH_scale.json`` — :mod:`benchmarks.bench_scale`
+* ``BENCH_scenarios.json`` — :mod:`benchmarks.bench_scenarios`
 
 Run:  python benchmarks/check_comm_regression.py [--baseline BENCH_comm.json]
 """
@@ -41,6 +42,9 @@ DEFAULT_PLACEMENT_BASELINE = os.path.join(
     HERE, os.pardir, "BENCH_placement.json"
 )
 DEFAULT_SCALE_BASELINE = os.path.join(HERE, os.pardir, "BENCH_scale.json")
+DEFAULT_SCENARIOS_BASELINE = os.path.join(
+    HERE, os.pardir, "BENCH_scenarios.json"
+)
 
 
 def load_baseline(path: str) -> dict | None:
@@ -273,6 +277,34 @@ def check_scale(baseline_path: str, tolerance: float) -> list[str]:
     return gate(baseline, tolerance, measure_fn, render, absolute_checks)
 
 
+def check_scenarios(baseline_path: str, tolerance: float) -> list[str]:
+    """Gate the scenario-matrix baseline: per-model gpipe-over-nested
+    and allreduce-over-EmbRace step-time ratio floors, plus
+    bench_scenarios's absolute criteria (every real-backend check
+    bit-identical, nested beating GPipe for EmbRace on enough models)."""
+    baseline = load_baseline(baseline_path)
+    if baseline is None:
+        return []
+
+    from bench_scenarios import absolute_checks, measure, render
+
+    def measure_fn(meta):
+        return measure(
+            models=tuple(meta["models"]),
+            strategies=tuple(meta["strategies"]),
+            schedules=tuple(meta["schedules"]),
+            world=meta["world"],
+            gpu=meta["gpu"],
+            stages=meta["stages"],
+            microbatches=meta["microbatches"],
+            real=meta["real"],
+            real_world=meta["real_world"],
+            real_steps=meta["real_steps"],
+        )
+
+    return gate(baseline, tolerance, measure_fn, render, absolute_checks)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
@@ -304,6 +336,13 @@ def main() -> int:
     parser.add_argument(
         "--skip-scale", action="store_true",
         help="skip the hybrid two-level scaling gate",
+    )
+    parser.add_argument(
+        "--scenarios-baseline", default=DEFAULT_SCENARIOS_BASELINE
+    )
+    parser.add_argument(
+        "--skip-scenarios", action="store_true",
+        help="skip the scenario-matrix schedule gate",
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.30,
@@ -340,6 +379,9 @@ def main() -> int:
     if not args.skip_scale:
         print()
         failures += check_scale(args.scale_baseline, args.tolerance)
+    if not args.skip_scenarios:
+        print()
+        failures += check_scenarios(args.scenarios_baseline, args.tolerance)
     if failures:
         print("\nFAIL:", *failures, sep="\n  ")
         return 1

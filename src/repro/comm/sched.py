@@ -155,6 +155,16 @@ class SchedKnobs:
     hier_dense: bool | None = None
     hier_sparse: bool | None = None
     hier_hot: bool | None = None
+    #: Pipeline schedule dimension (searchable via ``repro.tune``): the
+    #: ``"data_parallel"`` default reproduces historical behaviour;
+    #: ``"gpipe"`` / ``"1f1b"`` / ``"nested"`` select a
+    #: :class:`~repro.schedule.tabular.TabularSchedule` of
+    #: ``pipeline_stages`` stages x ``microbatches`` microbatches.
+    #: Pipeline schedules are simulator-only — the real trainer rejects
+    #: them with a clear error.
+    schedule: str = "data_parallel"
+    pipeline_stages: int = 1
+    microbatches: int = 1
 
     def __post_init__(self):
         if not isinstance(self.chunk_elems, int) or self.chunk_elems <= 0:
@@ -206,6 +216,27 @@ class SchedKnobs:
                 raise ValueError(
                     f"{name} must be True, False, or None (auto), got {value!r}"
                 )
+        if self.schedule not in (
+            "data_parallel", "gpipe", "1f1b", "nested"
+        ):
+            raise ValueError(
+                f"schedule must be one of 'data_parallel', 'gpipe', "
+                f"'1f1b', 'nested', got {self.schedule!r}"
+            )
+        for name in ("pipeline_stages", "microbatches"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ValueError(
+                    f"{name} must be an int >= 1, got {value!r}"
+                )
+        if self.schedule == "data_parallel" and (
+            self.pipeline_stages != 1 or self.microbatches != 1
+        ):
+            raise ValueError(
+                "data_parallel schedule requires pipeline_stages == 1 and "
+                f"microbatches == 1, got {self.pipeline_stages} stages x "
+                f"{self.microbatches} microbatches"
+            )
 
     def hierarchical(self, lane: str, multi_node: bool) -> bool:
         """Resolve a ``hier_*`` tri-state for one lane (``"dense"``,

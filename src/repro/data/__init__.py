@@ -20,7 +20,13 @@ from repro.data.vocab import Vocab
 from repro.data.zipf import ZipfSampler
 from repro.data.corpus import SyntheticCorpus, SyntheticPairCorpus
 from repro.data.tokenizer import pad_batch
-from repro.data.batching import Batch, BatchIterator, PairBatchIterator, TokenBudgetBatcher
+from repro.data.batching import (
+    Batch,
+    BatchIterator,
+    DLRMBatchIterator,
+    PairBatchIterator,
+    TokenBudgetBatcher,
+)
 from repro.data.prefetch import Prefetcher
 from repro.data.io import (
     FileCorpus,
@@ -39,6 +45,7 @@ __all__ = [
     "pad_batch",
     "Batch",
     "BatchIterator",
+    "DLRMBatchIterator",
     "PairBatchIterator",
     "TokenBudgetBatcher",
     "Prefetcher",

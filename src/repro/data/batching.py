@@ -20,12 +20,20 @@ class Batch:
     ``inputs`` is the source and ``targets`` the target sentence.
     ``token_ids`` is the union of ids the batch touches per embedding
     table — the quantity Algorithm 1 intersects between iterations.
+
+    ``streams`` carries per-table raw id arrays for workloads whose
+    tables are not derivable from ``inputs``/``targets`` (DLRM's many
+    categorical tables), keyed by table name; the reserved
+    ``"__dense__"`` key holds continuous input features.  When a table
+    appears here, :func:`repro.schedule.vertical._table_ids` uses it
+    instead of the NLP input/target convention.
     """
 
     inputs: np.ndarray
     targets: np.ndarray
     num_tokens: int
     token_ids: dict[str, np.ndarray] = field(default_factory=dict)
+    streams: dict[str, np.ndarray] = field(default_factory=dict)
 
     @property
     def batch_size(self) -> int:
@@ -88,6 +96,63 @@ class PairBatchIterator:
                 "encoder_embedding": np.unique(src[src != src_pad]),
                 "decoder_embedding": np.unique(tgt[tgt != tgt_pad]),
             },
+        )
+
+
+class DLRMBatchIterator:
+    """Endless click-log batches for the DLRM config.
+
+    Each sample draws ``src_seq_len`` Zipf-distributed categorical ids
+    per table (the multi-hot degree; id 0 is reserved as padding, like
+    the NLP vocabularies), plus dense features and a binary click label
+    deterministically derived from the ids — so two ranks replaying the
+    same seed see bit-identical batches.
+    """
+
+    def __init__(self, config, batch_size: int, seed: int = 0):
+        from repro.data.zipf import ZipfSampler
+
+        check_positive("batch_size", batch_size)
+        self.config = config
+        self.batch_size = int(batch_size)
+        self.degree = int(config.src_seq_len)
+        self.rng = np.random.default_rng(seed)
+        self.samplers = {
+            t.name: ZipfSampler(t.vocab_size - 1, exponent=config.zipf_exponent)
+            for t in config.tables
+        }
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> Batch:
+        from repro.models.blocks import DLRM_DENSE_FEATURES
+
+        streams: dict[str, np.ndarray] = {}
+        token_ids: dict[str, np.ndarray] = {}
+        acc = np.zeros(self.batch_size, dtype=np.int64)
+        for t in self.config.tables:
+            ids = 1 + self.samplers[t.name].sample(
+                self.rng, (self.batch_size, self.degree)
+            ).astype(np.int64)
+            streams[t.name] = ids
+            token_ids[t.name] = np.unique(ids)
+            acc += ids.sum(axis=1)
+        streams["__dense__"] = self.rng.standard_normal(
+            (self.batch_size, DLRM_DENSE_FEATURES)
+        )
+        # Click labels are a fixed function of the drawn ids: learnable
+        # structure without any stored dataset.
+        targets = ((acc % 5) < 2).astype(np.int64).reshape(-1, 1)
+        inputs = np.concatenate(
+            [streams[t.name] for t in self.config.tables], axis=1
+        )
+        return Batch(
+            inputs=inputs,
+            targets=targets,
+            num_tokens=self.batch_size,
+            token_ids=token_ids,
+            streams=streams,
         )
 
 

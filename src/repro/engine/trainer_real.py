@@ -305,6 +305,13 @@ class RealTrainer:
             knobs = SchedKnobs()
         if not isinstance(knobs, SchedKnobs):
             raise TypeError(f"knobs must be a SchedKnobs, got {type(knobs)}")
+        if knobs.schedule != "data_parallel":
+            raise ValueError(
+                f"schedule {knobs.schedule!r} is simulator-only: real "
+                "execution supports only 'data_parallel'; compile pipeline "
+                "schedules with repro.schedule.tabular and evaluate them "
+                "via the simulator (repro.scenarios / repro.tune)"
+            )
         self.knobs = knobs
         self.profile = profile
         self.placement = as_placement(placement)

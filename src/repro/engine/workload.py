@@ -10,6 +10,7 @@ import numpy as np
 from repro.data import (
     Batch,
     BatchIterator,
+    DLRMBatchIterator,
     PairBatchIterator,
     SyntheticCorpus,
     SyntheticPairCorpus,
@@ -24,6 +25,8 @@ from repro.utils.validation import check_positive
 
 def batch_stream(config: ModelConfig, gpu_kind: str, seed: int = 0):
     """An endless iterator of per-worker batches for (model, cluster)."""
+    if config.family == "dlrm":
+        return DLRMBatchIterator(config, config.batch_size(gpu_kind), seed=seed)
     if config.family in ("lm", "bert"):
         vocab = Vocab(config.table(config.tables[0].name).vocab_size)
         corpus = SyntheticCorpus(

@@ -22,6 +22,10 @@ from repro.utils.validation import check_in
 EMBEDDING = "embedding"
 DENSE = "dense"
 
+#: Continuous (non-categorical) input features of the DLRM workload
+#: (the Criteo layout: 13 dense counters next to the categorical ids).
+DLRM_DENSE_FEATURES = 13
+
 
 @dataclass(frozen=True)
 class LayerDesc:
@@ -256,6 +260,50 @@ def _bert_blocks(cfg: ModelConfig) -> list[BlockSpec]:
     return blocks
 
 
+def _dlrm_blocks(cfg: ModelConfig) -> list[BlockSpec]:
+    """One embedding block per categorical table, a bottom MLP over the
+    dense features, and a top MLP over the concatenated interactions.
+
+    Embedding lookups run ``src_seq_len`` times per sample (the
+    multi-hot degree, ``side='src'``); the MLPs run once per sample
+    (``side='tgt'`` with ``tgt_seq_len == 1``).
+    """
+    dim = cfg.tables[0].dim
+    blocks = [
+        BlockSpec(
+            t.name,
+            EMBEDDING,
+            (LayerDesc("embedding", (t.vocab_size, t.dim), side="src"),),
+            table=t.name,
+        )
+        for t in cfg.tables
+    ]
+    blocks.append(
+        BlockSpec(
+            "bottom_mlp",
+            DENSE,
+            (
+                LayerDesc("linear", (DLRM_DENSE_FEATURES, cfg.hidden_dim), side="tgt"),
+                LayerDesc("linear", (cfg.hidden_dim, dim), side="tgt"),
+            ),
+        )
+    )
+    concat = (len(cfg.tables) + 1) * dim
+    top: list[LayerDesc] = [LayerDesc("linear", (concat, cfg.hidden_dim), side="tgt")]
+    for _ in range(max(0, cfg.num_encoder_layers - 2)):
+        top.append(LayerDesc("linear", (cfg.hidden_dim, cfg.hidden_dim), side="tgt"))
+    top.append(LayerDesc("linear", (cfg.hidden_dim, 1), side="tgt"))
+    blocks.append(
+        BlockSpec(
+            "top_mlp",
+            DENSE,
+            tuple(top),
+            fp_deps=tuple(t.name for t in cfg.tables) + ("bottom_mlp",),
+        )
+    )
+    return blocks
+
+
 def block_specs(cfg: ModelConfig) -> list[BlockSpec]:
     """The model's schedulable blocks in forward-pass order."""
     if cfg.family == "lm":
@@ -264,6 +312,8 @@ def block_specs(cfg: ModelConfig) -> list[BlockSpec]:
         blocks = _seq2seq_blocks(cfg, "lstm")
     elif cfg.family == "transformer":
         blocks = _seq2seq_blocks(cfg, "transformer")
+    elif cfg.family == "dlrm":
+        blocks = _dlrm_blocks(cfg)
     else:
         blocks = _bert_blocks(cfg)
     names = [b.name for b in blocks]

@@ -59,7 +59,7 @@ class ModelConfig:
     """
 
     name: str
-    family: str  # 'lm' | 'gnmt' | 'transformer' | 'bert'
+    family: str  # 'lm' | 'gnmt' | 'transformer' | 'bert' | 'dlrm'
     tables: tuple[EmbeddingTableConfig, ...]
     hidden_dim: int
     num_encoder_layers: int
@@ -83,7 +83,9 @@ class ModelConfig:
     buffer_size: int = 8192
 
     def __post_init__(self) -> None:
-        check_in("family", self.family, {"lm", "gnmt", "transformer", "bert"})
+        check_in(
+            "family", self.family, {"lm", "gnmt", "transformer", "bert", "dlrm"}
+        )
         if not self.tables:
             raise ValueError(f"{self.name}: at least one embedding table required")
         check_positive("hidden_dim", self.hidden_dim)
@@ -250,3 +252,31 @@ BERT_BASE = ModelConfig(
 PAPER_MODELS: dict[str, ModelConfig] = {
     cfg.name: cfg for cfg in (LM, GNMT8, TRANSFORMER, BERT_BASE)
 }
+
+#: DLRM-style recommendation model (Naumov et al.): many categorical
+#: embedding tables (multi-hot lookups), a bottom MLP over dense
+#: features and a top MLP over the feature interactions.  Not part of
+#: the paper's Table 1 — it extends the scenario matrix to the recsys
+#: workload class EmbRace targets ("embedding tables dominate the model
+#: size; each sample touches a handful of rows").  ``src_seq_len`` is
+#: the multi-hot degree (lookups per table per sample) and
+#: ``tgt_seq_len`` is 1 (one click label per sample).
+DLRM = ModelConfig(
+    name="DLRM",
+    family="dlrm",
+    tables=tuple(
+        EmbeddingTableConfig(f"cat_{i}", vocab_size=500_000, dim=64)
+        for i in range(8)
+    ),
+    hidden_dim=512,
+    num_encoder_layers=3,  # top-MLP depth
+    batch_size_rtx3090=2048,
+    batch_size_rtx2080=1024,
+    src_seq_len=4,
+    tgt_seq_len=1,
+    zipf_exponent=1.05,
+    min_sentence_len=1,
+)
+
+#: Every config the registry serves: Table 1 plus the DLRM extension.
+ALL_MODELS: dict[str, ModelConfig] = {**PAPER_MODELS, "DLRM": DLRM}

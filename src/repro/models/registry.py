@@ -6,7 +6,8 @@ import numpy as np
 
 from repro.models.base import BaseNLPModel
 from repro.models.bert import BertModel
-from repro.models.config import PAPER_MODELS, ModelConfig
+from repro.models.config import ALL_MODELS, ModelConfig
+from repro.models.dlrm import DLRMModel
 from repro.models.gnmt import GNMTModel
 from repro.models.lm import LMModel
 from repro.models.transformer_mt import TransformerMTModel
@@ -16,16 +17,18 @@ _FAMILIES = {
     "gnmt": GNMTModel,
     "transformer": TransformerMTModel,
     "bert": BertModel,
+    "dlrm": DLRMModel,
 }
 
 
 def get_config(name: str) -> ModelConfig:
-    """Paper-scale config by Table 1 name (``'LM'``, ``'GNMT-8'``, ...)."""
+    """Full-scale config by name: Table 1 (``'LM'``, ``'GNMT-8'``, ...)
+    plus the ``'DLRM'`` extension."""
     try:
-        return PAPER_MODELS[name]
+        return ALL_MODELS[name]
     except KeyError:
         raise KeyError(
-            f"unknown model {name!r}; available: {sorted(PAPER_MODELS)}"
+            f"unknown model {name!r}; available: {sorted(ALL_MODELS)}"
         ) from None
 
 

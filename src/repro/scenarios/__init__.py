@@ -1,0 +1,25 @@
+"""Scenario matrix: models x strategies x pipeline schedules in one run.
+
+:func:`run_matrix` sweeps every combination of benchmark model,
+communication strategy and :mod:`repro.schedule.tabular` schedule on the
+simulator — data-parallel cells through the strategies' own step graphs,
+pipeline cells through the tabular compiler — and optionally validates a
+subset on the real multi-worker backend (overlapped vs. unoverlapped
+runs of exact strategies must produce bit-identical losses).
+"""
+
+from repro.scenarios.matrix import (
+    RealCheck,
+    ScenarioCell,
+    ScenarioReport,
+    ScenarioSpec,
+    run_matrix,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioCell",
+    "ScenarioReport",
+    "RealCheck",
+    "run_matrix",
+]

@@ -1,0 +1,783 @@
+"""Tabular pipeline-parallel schedules and their compilation to task graphs.
+
+A :class:`TabularSchedule` is a declarative stage x time table (the
+Tabular Schedule Abstraction reading of pipeline parallelism): rows are
+pipeline stages, columns are time slots, and cells carry forward /
+backward / communication operations tagged with microbatch ids.  The
+table round-trips through JSON, validates structurally (unknown ops,
+overlapping cells, missing or mis-ordered fwd/bwd pairs), and renders
+as an ASCII grid.
+
+Three builders produce the classic schedules plus the NestPipe-style
+nesting of EmbRace inside a pipeline:
+
+* :func:`gpipe_schedule` — fill-then-drain with a synchronous *flush*:
+  every gradient collective launches only after the full drain, FIFO,
+  and the next step's forwards wait on a global barrier;
+* :func:`one_f_one_b_schedule` — 1F1B interleaving with *wait-free*
+  per-stage communication: each stage's gradient sync launches as soon
+  as its own last backward finishes and gates only that stage's next
+  forwards;
+* :func:`nested_embrace_schedule` — 1F1B plus EmbRace's Vertical Sparse
+  Scheduling nested inside the pipeline: embedding-owning stages split
+  their sparse gradient into a *prior* AlltoAll that rides the stage
+  bubbles at top priority and a *delayed* AlltoAll that trails into the
+  next step without gating any forward (§4.2.2 applied per stage).
+
+In an idealised dependency-only model GPipe and 1F1B have identical
+bubbles — ``(p-1)/(p+m-1)`` either way — so the tables differ in their
+**communication placement** (``comm``), which is exactly what the
+simulator prices: :func:`compile_schedule` lowers a table to a
+:class:`~repro.sim.task.TaskGraph` with per-stage compute lanes, one
+shared comm lane, activation/gradient sends between stages, and the
+strategy's collectives priced by the (optionally profile-calibrated)
+:class:`~repro.collectives.cost.CostModel` via :class:`ScheduleCosts`.
+The compiled graph follows the repo's step convention — backward of
+step *k* plus communication plus forward of step *k+1* — so
+:func:`~repro.sim.pipeline.chain_steps` and
+:func:`~repro.sim.pipeline.steady_state_step_time` work unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.models.blocks import BlockSpec
+from repro.schedule.horizontal import PRIORITY_DELAYED, PRIORITY_PRIOR
+from repro.sim.task import TaskGraph
+from repro.utils.validation import check_in, check_positive
+
+#: Forward/backward compute of one microbatch at one stage.
+COMPUTE_OPS = ("fwd", "bwd")
+
+#: Stage-level communication / optimizer cells (``microbatch`` is None).
+COMM_OPS = ("sync", "prior", "delayed", "opt")
+
+KNOWN_OPS = frozenset(COMPUTE_OPS + COMM_OPS)
+
+#: Communication placements a schedule may declare.
+COMM_STYLES = ("flush", "waitfree", "nested")
+
+#: Schedule names accepted by :func:`build_schedule` and the
+#: ``schedule`` knob of :class:`~repro.comm.SchedKnobs`.
+SCHEDULE_NAMES = ("data_parallel", "gpipe", "1f1b", "nested")
+
+#: The subset that compiles through this module (simulator-only).
+PIPELINE_SCHEDULES = ("gpipe", "1f1b", "nested")
+
+#: Priority of inter-stage activation/gradient sends on the comm lane:
+#: they sit on the pipeline's critical path, ahead of every gradient
+#: collective except a prior sparse exchange.
+PRIORITY_ACT = -0.75
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One table cell: operation ``op`` at ``(stage, slot)``.
+
+    ``microbatch`` identifies the microbatch for ``fwd``/``bwd`` cells
+    and must be ``None`` for stage-level comm cells.
+    """
+
+    stage: int
+    slot: int
+    op: str
+    microbatch: int | None = None
+
+    def to_dict(self) -> dict:
+        d = {"stage": self.stage, "slot": self.slot, "op": self.op}
+        if self.microbatch is not None:
+            d["microbatch"] = self.microbatch
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Cell":
+        return cls(
+            stage=int(d["stage"]),
+            slot=int(d["slot"]),
+            op=str(d["op"]),
+            microbatch=(
+                int(d["microbatch"]) if d.get("microbatch") is not None else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class TabularSchedule:
+    """A validated stage x slot table; see the module docstring."""
+
+    name: str
+    n_stages: int
+    n_microbatches: int
+    comm: str
+    cells: tuple[Cell, ...]
+
+    def __post_init__(self) -> None:
+        check_positive("n_stages", self.n_stages)
+        check_positive("n_microbatches", self.n_microbatches)
+        check_in("comm", self.comm, set(COMM_STYLES))
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Structural validation; raises ``ValueError`` with a reason."""
+        seen: dict[tuple[int, int], Cell] = {}
+        fwd: dict[tuple[int, int], Cell] = {}
+        bwd: dict[tuple[int, int], Cell] = {}
+        for cell in self.cells:
+            if cell.op not in KNOWN_OPS:
+                raise ValueError(
+                    f"{self.name}: unknown op {cell.op!r} at "
+                    f"(stage {cell.stage}, slot {cell.slot}); "
+                    f"known ops: {sorted(KNOWN_OPS)}"
+                )
+            if not 0 <= cell.stage < self.n_stages:
+                raise ValueError(
+                    f"{self.name}: cell stage {cell.stage} outside "
+                    f"[0, {self.n_stages})"
+                )
+            if cell.slot < 0:
+                raise ValueError(f"{self.name}: negative slot {cell.slot}")
+            key = (cell.stage, cell.slot)
+            if key in seen:
+                raise ValueError(
+                    f"{self.name}: overlapping cells at stage {cell.stage}, "
+                    f"slot {cell.slot}: {seen[key].op!r} and {cell.op!r}"
+                )
+            seen[key] = cell
+            if cell.op in COMPUTE_OPS:
+                if cell.microbatch is None or not (
+                    0 <= cell.microbatch < self.n_microbatches
+                ):
+                    raise ValueError(
+                        f"{self.name}: {cell.op} cell at stage {cell.stage} "
+                        f"needs a microbatch id in [0, {self.n_microbatches}), "
+                        f"got {cell.microbatch!r}"
+                    )
+                target = fwd if cell.op == "fwd" else bwd
+                mkey = (cell.stage, cell.microbatch)
+                if mkey in target:
+                    raise ValueError(
+                        f"{self.name}: duplicate {cell.op} of microbatch "
+                        f"{cell.microbatch} at stage {cell.stage}"
+                    )
+                target[mkey] = cell
+            elif cell.microbatch is not None:
+                raise ValueError(
+                    f"{self.name}: comm cell {cell.op!r} must not carry a "
+                    f"microbatch id (got {cell.microbatch})"
+                )
+        for s in range(self.n_stages):
+            for m in range(self.n_microbatches):
+                if (s, m) not in fwd:
+                    raise ValueError(
+                        f"{self.name}: missing fwd of microbatch {m} at stage {s}"
+                    )
+                if (s, m) not in bwd:
+                    raise ValueError(
+                        f"{self.name}: missing bwd of microbatch {m} at stage {s}"
+                    )
+                if not fwd[s, m].slot < bwd[s, m].slot:
+                    raise ValueError(
+                        f"{self.name}: bwd of microbatch {m} at stage {s} "
+                        f"(slot {bwd[s, m].slot}) does not follow its fwd "
+                        f"(slot {fwd[s, m].slot})"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    def row(self, stage: int) -> list[Cell]:
+        """Stage ``stage``'s cells in slot order."""
+        return sorted(
+            (c for c in self.cells if c.stage == stage), key=lambda c: c.slot
+        )
+
+    def compute_cells(self, stage: int, op: str) -> list[Cell]:
+        """``op`` (``'fwd'``/``'bwd'``) cells of one stage, slot-ordered."""
+        return [c for c in self.row(stage) if c.op == op]
+
+    @property
+    def n_slots(self) -> int:
+        return max((c.slot for c in self.cells), default=-1) + 1
+
+    def grid(self) -> str:
+        """ASCII rendering: one row per stage, one column per slot."""
+        label = {"fwd": "F", "bwd": "B", "sync": "S", "prior": "P",
+                 "delayed": "D", "opt": "O"}
+        width = max(4, len(str(self.n_microbatches - 1)) + 2)
+        lines = [f"{self.name} (comm={self.comm})"]
+        by_pos = {(c.stage, c.slot): c for c in self.cells}
+        for s in range(self.n_stages):
+            row = []
+            for t in range(self.n_slots):
+                cell = by_pos.get((s, t))
+                if cell is None:
+                    row.append("." .center(width))
+                elif cell.microbatch is not None:
+                    row.append(f"{label[cell.op]}{cell.microbatch}".center(width))
+                else:
+                    row.append(label[cell.op].center(width))
+            lines.append(f"stage {s} |" + "|".join(row) + "|")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # JSON round trip
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "n_stages": self.n_stages,
+            "n_microbatches": self.n_microbatches,
+            "comm": self.comm,
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TabularSchedule":
+        return cls(
+            name=str(d["name"]),
+            n_stages=int(d["n_stages"]),
+            n_microbatches=int(d["n_microbatches"]),
+            comm=str(d["comm"]),
+            cells=tuple(Cell.from_dict(c) for c in d["cells"]),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TabularSchedule":
+        return cls.from_dict(json.loads(text))
+
+
+# ---------------------------------------------------------------------- #
+# Builders
+# ---------------------------------------------------------------------- #
+def _greedy_slots(
+    p: int, m: int, prefer_bwd: bool
+) -> tuple[dict[tuple[int, int], int], dict[tuple[int, int], int]]:
+    """Global-slot assignment by per-slot greedy simulation.
+
+    Each stage executes at most one unit op per slot.  ``fwd(s, mb)`` is
+    ready once ``fwd(s-1, mb)`` finished; ``bwd(s, mb)`` once its own
+    ``fwd`` and ``bwd(s+1, mb)`` finished.  ``prefer_bwd`` selects the
+    1F1B policy (drain a ready backward before starting a new forward);
+    GPipe prefers forwards, producing the fill-then-drain table.
+    """
+    fslot: dict[tuple[int, int], int] = {}
+    bslot: dict[tuple[int, int], int] = {}
+    next_f = [0] * p  # next microbatch to forward, per stage
+    next_b = [0] * p
+    t = 0
+    while len(bslot) < p * m:
+        for s in range(p):
+            f_ready = next_f[s] < m and (
+                s == 0 or fslot.get((s - 1, next_f[s]), t) < t
+            )
+            mb = next_b[s]
+            b_ready = (
+                mb < m
+                and fslot.get((s, mb), t) < t
+                and (s == p - 1 or bslot.get((s + 1, mb), t) < t)
+            )
+            if b_ready and (prefer_bwd or not f_ready):
+                bslot[s, mb] = t
+                next_b[s] += 1
+            elif f_ready:
+                fslot[s, next_f[s]] = t
+                next_f[s] += 1
+        t += 1
+        if t > 8 * p * m + 16:  # pragma: no cover - defensive
+            raise AssertionError("greedy slot assignment did not converge")
+    return fslot, bslot
+
+
+def _comm_cells(p: int, last_slot: dict[int, int], comm: str) -> list[Cell]:
+    """Stage-level comm cells appended after each row's last backward."""
+    cells = []
+    for s in range(p):
+        t = last_slot[s] + 1
+        if comm == "nested":
+            cells.append(Cell(s, t, "prior"))
+            cells.append(Cell(s, t + 1, "sync"))
+            cells.append(Cell(s, t + 2, "opt"))
+            cells.append(Cell(s, t + 3, "delayed"))
+        else:
+            cells.append(Cell(s, t, "sync"))
+            cells.append(Cell(s, t + 1, "opt"))
+    return cells
+
+
+def _pipeline_schedule(
+    name: str, p: int, m: int, comm: str, prefer_bwd: bool
+) -> TabularSchedule:
+    check_positive("n_stages", p)
+    check_positive("n_microbatches", m)
+    fslot, bslot = _greedy_slots(p, m, prefer_bwd)
+    cells = [Cell(s, t, "fwd", mb) for (s, mb), t in fslot.items()]
+    cells += [Cell(s, t, "bwd", mb) for (s, mb), t in bslot.items()]
+    last = {s: max(t for (s2, _), t in bslot.items() if s2 == s) for s in range(p)}
+    cells += _comm_cells(p, last, comm)
+    return TabularSchedule(
+        name=name,
+        n_stages=p,
+        n_microbatches=m,
+        comm=comm,
+        cells=tuple(sorted(cells, key=lambda c: (c.stage, c.slot))),
+    )
+
+
+def data_parallel_schedule() -> TabularSchedule:
+    """The degenerate 1-stage, 1-microbatch table (pure data parallel)."""
+    return TabularSchedule(
+        name="data_parallel",
+        n_stages=1,
+        n_microbatches=1,
+        comm="waitfree",
+        cells=(
+            Cell(0, 0, "fwd", 0),
+            Cell(0, 1, "bwd", 0),
+            Cell(0, 2, "sync"),
+            Cell(0, 3, "opt"),
+        ),
+    )
+
+
+def gpipe_schedule(n_stages: int, n_microbatches: int) -> TabularSchedule:
+    """GPipe: all forwards, then all backwards, then a synchronous flush."""
+    return _pipeline_schedule(
+        "gpipe", n_stages, n_microbatches, "flush", prefer_bwd=False
+    )
+
+
+def one_f_one_b_schedule(n_stages: int, n_microbatches: int) -> TabularSchedule:
+    """1F1B: steady-state interleaving + wait-free per-stage comm."""
+    return _pipeline_schedule(
+        "1f1b", n_stages, n_microbatches, "waitfree", prefer_bwd=True
+    )
+
+
+def nested_embrace_schedule(n_stages: int, n_microbatches: int) -> TabularSchedule:
+    """NestPipe-style nesting: 1F1B with EmbRace's prior/delayed split
+    riding the stage bubbles (prior at top priority, delayed trailing)."""
+    return _pipeline_schedule(
+        "nested", n_stages, n_microbatches, "nested", prefer_bwd=True
+    )
+
+
+def build_schedule(name: str, n_stages: int, n_microbatches: int) -> TabularSchedule:
+    """Builder dispatch by :data:`SCHEDULE_NAMES` entry."""
+    check_in("schedule", name, set(SCHEDULE_NAMES))
+    if name == "data_parallel":
+        return data_parallel_schedule()
+    if name == "gpipe":
+        return gpipe_schedule(n_stages, n_microbatches)
+    if name == "1f1b":
+        return one_f_one_b_schedule(n_stages, n_microbatches)
+    return nested_embrace_schedule(n_stages, n_microbatches)
+
+
+# ---------------------------------------------------------------------- #
+# Costs
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScheduleCosts:
+    """Everything the compiler needs to price one table's cells.
+
+    All per-stage tuples have length ``n_stages``; ``fwd_s``/``bwd_s``
+    are *per microbatch* seconds; ``act_send_s`` prices one activation
+    (or activation-gradient) transfer across each stage boundary (length
+    ``n_stages - 1``).  ``prior_s``/``delayed_s`` are zero for stages
+    without embedding tables (and for strategies without a sparse
+    split), in which case the nested placement degrades to wait-free
+    with the whole-gradient ``sparse_s`` exchange.
+    """
+
+    n_stages: int
+    n_microbatches: int
+    fwd_s: tuple[float, ...]
+    bwd_s: tuple[float, ...]
+    act_send_s: tuple[float, ...]
+    dense_s: tuple[float, ...]
+    sparse_s: tuple[float, ...]
+    prior_s: tuple[float, ...]
+    delayed_s: tuple[float, ...]
+    opt_s: tuple[float, ...]
+    opt_delayed_s: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        check_positive("n_stages", self.n_stages)
+        check_positive("n_microbatches", self.n_microbatches)
+        p = self.n_stages
+        for field_name in (
+            "fwd_s", "bwd_s", "dense_s", "sparse_s",
+            "prior_s", "delayed_s", "opt_s", "opt_delayed_s",
+        ):
+            if len(getattr(self, field_name)) != p:
+                raise ValueError(
+                    f"{field_name} must have {p} entries, got "
+                    f"{len(getattr(self, field_name))}"
+                )
+        if len(self.act_send_s) != p - 1:
+            raise ValueError(
+                f"act_send_s must have {p - 1} entries, got "
+                f"{len(self.act_send_s)}"
+            )
+
+
+def assign_stages(
+    blocks: list[BlockSpec], block_times, n_stages: int
+) -> list[list[BlockSpec]]:
+    """Contiguous stage partition balanced by fp+bp time.
+
+    Greedy sweep toward the mean per-stage load; every stage gets at
+    least one block, so ``n_stages`` must not exceed ``len(blocks)``.
+    """
+    check_positive("n_stages", n_stages)
+    if n_stages > len(blocks):
+        raise ValueError(
+            f"cannot split {len(blocks)} blocks into {n_stages} stages"
+        )
+    loads = [block_times[b.name].fp + block_times[b.name].bp for b in blocks]
+    target = sum(loads) / n_stages
+    stages: list[list[BlockSpec]] = []
+    current: list[BlockSpec] = []
+    acc = 0.0
+    remaining = len(blocks)
+    for i, block in enumerate(blocks):
+        current.append(block)
+        acc += loads[i]
+        remaining -= 1
+        # Close the stage once it reaches the mean load, keeping enough
+        # blocks behind to populate the remaining stages.
+        if (
+            len(stages) < n_stages - 1
+            and acc >= target
+            and remaining >= (n_stages - 1 - len(stages))
+        ):
+            stages.append(current)
+            current, acc = [], 0.0
+    stages.append(current)
+    while len(stages) < n_stages:  # pragma: no cover - defensive
+        stages.append([])
+    return stages
+
+
+def schedule_costs_from_context(
+    ctx,
+    strategy: str,
+    n_stages: int,
+    n_microbatches: int,
+    gpu_kind: str = "rtx3090",
+) -> ScheduleCosts:
+    """Price a table's cells for one (model, cluster, strategy).
+
+    ``ctx`` is a :class:`~repro.strategies.base.StepContext` (its
+    ``cost`` may come from a measured :class:`~repro.tune.TunedProfile`
+    via ``CostModel.from_profile`` — the calibrated path).  Per-stage
+    collectives mirror the data-parallel strategies: EmbRace AlltoAlls
+    the sparse split and ring-AllReduces dense blocks; Horovod-AllReduce
+    densifies tables into the AllReduce; Horovod-AllGather AllGathers
+    the raw sparse gradient; BytePS pushes everything dense through
+    parameter servers; Parallax mixes sparse PS with dense AllReduce.
+    """
+    from repro.models.blocks import EMBEDDING
+    from repro.strategies.base import ADAM_UPDATE_PASSES, PS_APPLY_PASSES
+
+    known = {
+        "EmbRace", "Horovod-AllReduce", "Horovod-AllGather", "BytePS", "Parallax",
+    }
+    check_in("strategy", strategy, known)
+    stages = assign_stages(ctx.blocks, ctx.block_times, n_stages)
+    m = n_microbatches
+    cost = ctx.cost
+    fwd, bwd, dense, sparse, prior, delayed, opt, opt_delayed = (
+        [], [], [], [], [], [], [], []
+    )
+    for group in stages:
+        fwd.append(sum(ctx.block_times[b.name].fp for b in group) / m)
+        bwd.append(sum(ctx.block_times[b.name].bp for b in group) / m)
+        dense_bytes = sum(
+            b.param_nbytes for b in group if b.kind != EMBEDDING
+        )
+        tables = [ctx.table_stats(b.table) for b in group if b.kind == EMBEDDING]
+        table_bytes = sum(st.vocab_size * st.dim * 4 for st in tables)
+        coalesced = sum(st.coalesced_bytes for st in tables)
+        original = sum(st.original_bytes for st in tables)
+        prior_b = sum(st.prior_bytes for st in tables)
+        delayed_b = sum(st.delayed_bytes for st in tables)
+        opt_bytes = dense_bytes + coalesced / ctx.world_size
+        opt_passes = ADAM_UPDATE_PASSES
+        if strategy == "EmbRace":
+            dense.append(cost.allreduce(dense_bytes).seconds)
+            sparse.append(cost.alltoall(coalesced).seconds)
+            prior.append(cost.alltoall(prior_b).seconds)
+            delayed.append(cost.alltoall(delayed_b).seconds)
+            opt_bytes = dense_bytes + prior_b / ctx.world_size
+        elif strategy == "Horovod-AllReduce":
+            # Sparse tensors densified into the ring AllReduce (§5.2.3).
+            dense.append(cost.allreduce(dense_bytes + table_bytes).seconds)
+            sparse.append(0.0)
+            prior.append(0.0)
+            delayed.append(0.0)
+            opt_bytes = dense_bytes + table_bytes
+        elif strategy == "Horovod-AllGather":
+            dense.append(cost.allreduce(dense_bytes).seconds)
+            sparse.append(cost.allgather(original).seconds)
+            prior.append(0.0)
+            delayed.append(0.0)
+            opt_bytes = dense_bytes + original
+        elif strategy == "BytePS":
+            dense.append(
+                cost.parameter_server(
+                    dense_bytes + table_bytes,
+                    server_update_passes=PS_APPLY_PASSES,
+                ).seconds
+            )
+            sparse.append(0.0)
+            prior.append(0.0)
+            delayed.append(0.0)
+            opt_bytes, opt_passes = dense_bytes + table_bytes, PS_APPLY_PASSES
+        else:  # Parallax
+            dense.append(cost.allreduce(dense_bytes).seconds)
+            sparse.append(
+                cost.parameter_server(
+                    original, server_update_passes=ADAM_UPDATE_PASSES
+                ).seconds
+            )
+            prior.append(0.0)
+            delayed.append(0.0)
+            opt_bytes = dense_bytes + original
+        device = ctx.cluster.gpu
+        opt.append(device.memory_time(opt_passes * opt_bytes))
+        opt_delayed.append(
+            device.memory_time(ADAM_UPDATE_PASSES * delayed_b / ctx.world_size)
+            if strategy == "EmbRace"
+            else 0.0
+        )
+    # One microbatch's activation tensor crossing each stage boundary.
+    cfg = ctx.config
+    act_bytes = (
+        cfg.batch_size(gpu_kind) / m * cfg.tgt_seq_len * cfg.hidden_dim * 4
+    )
+    act = tuple(
+        cost.point_to_point(act_bytes).seconds for _ in range(n_stages - 1)
+    )
+    return ScheduleCosts(
+        n_stages=n_stages,
+        n_microbatches=m,
+        fwd_s=tuple(fwd),
+        bwd_s=tuple(bwd),
+        act_send_s=act,
+        dense_s=tuple(dense),
+        sparse_s=tuple(sparse),
+        prior_s=tuple(prior),
+        delayed_s=tuple(delayed),
+        opt_s=tuple(opt),
+        opt_delayed_s=tuple(opt_delayed),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Compilation
+# ---------------------------------------------------------------------- #
+def _lane(n_stages: int, s: int) -> str:
+    return "compute" if n_stages == 1 else f"compute:{s}"
+
+
+def compile_schedule(schedule: TabularSchedule, costs: ScheduleCosts) -> TaskGraph:
+    """Lower a table to one step-graph copy in the repo's convention.
+
+    The copy holds step *k*'s backwards (``bp:{stage}.{mb}``), the
+    declared communication placement, and step *k+1*'s forwards
+    (``fp:{stage}.{mb}``), so
+    :func:`~repro.sim.pipeline.chain_steps`'s cross-step rule — copy
+    *k*'s ``bp:X`` waits for copy *k-1*'s ``fp:X`` — supplies exactly
+    the forward-before-backward dependency of the pipelined step.
+    Slot numbers become task priorities on each stage's compute lane,
+    so the declared column order breaks ties among ready tasks.
+    """
+    if (schedule.n_stages, schedule.n_microbatches) != (
+        costs.n_stages, costs.n_microbatches
+    ):
+        raise ValueError(
+            f"schedule is {schedule.n_stages}x{schedule.n_microbatches} "
+            f"but costs were built for {costs.n_stages}x"
+            f"{costs.n_microbatches}"
+        )
+    p, m = schedule.n_stages, schedule.n_microbatches
+    graph = TaskGraph()
+
+    # ---- Backward phase (step k), last stage first ------------------- #
+    bslots = {
+        (c.stage, c.microbatch): c.slot
+        for c in schedule.cells
+        if c.op == "bwd"
+    }
+    all_bp: list[str] = []
+    for s in range(p - 1, -1, -1):
+        prev = None
+        for cell in schedule.compute_cells(s, "bwd"):
+            mb = cell.microbatch
+            deps = [] if prev is None else [prev]
+            if s < p - 1:
+                send = f"gsend:{s + 1}.{mb}"
+                graph.add_task(
+                    send,
+                    costs.act_send_s[s],
+                    "comm",
+                    kind="comm",
+                    priority=PRIORITY_ACT,
+                    deps=(f"bp:{s + 1}.{mb}",),
+                )
+                deps.append(send)
+            name = f"bp:{s}.{mb}"
+            graph.add_task(
+                name,
+                costs.bwd_s[s],
+                _lane(p, s),
+                kind="compute",
+                priority=float(bslots[s, mb]),
+                deps=tuple(deps),
+            )
+            all_bp.append(name)
+            prev = name
+
+    # ---- Communication placement ------------------------------------- #
+    flush = schedule.comm == "flush"
+    nested = schedule.comm == "nested"
+    opt_names: list[str] = []
+    for s in range(p):
+        stage_bp = [f"bp:{s}.{mb}" for mb in range(m)]
+        sync_deps = tuple(all_bp) if flush else tuple(stage_bp)
+        opt_deps: list[str] = []
+        if costs.dense_s[s] > 0:
+            graph.add_task(
+                f"ar:{s}",
+                costs.dense_s[s],
+                "comm",
+                kind="comm",
+                priority=100.0 + s if flush else float(s),
+                deps=sync_deps,
+            )
+            opt_deps.append(f"ar:{s}")
+        split = nested and (costs.prior_s[s] > 0 or costs.delayed_s[s] > 0)
+        if split:
+            graph.add_task(
+                f"a2a_prior:{s}",
+                costs.prior_s[s],
+                "comm",
+                kind="comm",
+                priority=PRIORITY_PRIOR,
+                deps=sync_deps,
+            )
+            opt_deps.append(f"a2a_prior:{s}")
+            graph.add_task(
+                f"a2a_delayed:{s}",
+                costs.delayed_s[s],
+                "comm",
+                kind="comm",
+                priority=PRIORITY_DELAYED,
+                deps=sync_deps,
+            )
+        elif costs.sparse_s[s] > 0:
+            graph.add_task(
+                f"sparse:{s}",
+                costs.sparse_s[s],
+                "comm",
+                kind="comm",
+                priority=100.0 + s if flush else float(s),
+                deps=sync_deps,
+            )
+            opt_deps.append(f"sparse:{s}")
+        graph.add_task(
+            f"opt:{s}",
+            costs.opt_s[s],
+            _lane(p, s),
+            kind="overhead",
+            priority=50.0,
+            deps=tuple(opt_deps) if opt_deps else sync_deps,
+        )
+        opt_names.append(f"opt:{s}")
+        if split and costs.opt_delayed_s[s] > 0:
+            # Applies the delayed rows when they land; gates nothing —
+            # the §4.2.2 trailing update.
+            graph.add_task(
+                f"opt_delayed:{s}",
+                costs.opt_delayed_s[s],
+                _lane(p, s),
+                kind="overhead",
+                priority=200.0,
+                deps=(f"a2a_delayed:{s}",),
+            )
+
+    # ---- Forward phase (step k+1), first stage first ----------------- #
+    fslots = {
+        (c.stage, c.microbatch): c.slot
+        for c in schedule.cells
+        if c.op == "fwd"
+    }
+    for s in range(p):
+        gates = tuple(opt_names) if flush else (f"opt:{s}",)
+        prev = None
+        for cell in schedule.compute_cells(s, "fwd"):
+            mb = cell.microbatch
+            deps = list(gates)
+            if prev is not None:
+                deps.append(prev)
+            if s > 0:
+                send = f"asend:{s - 1}.{mb}"
+                graph.add_task(
+                    send,
+                    costs.act_send_s[s - 1],
+                    "comm",
+                    kind="comm",
+                    priority=PRIORITY_ACT,
+                    deps=(f"fp:{s - 1}.{mb}",),
+                )
+                deps.append(send)
+            name = f"fp:{s}.{mb}"
+            # Nested schedules hoist the forwards of sparse stages so
+            # the prior exchange's unblocking work runs first (§4.2.1).
+            hoist = nested and (costs.prior_s[s] > 0 or costs.delayed_s[s] > 0)
+            graph.add_task(
+                name,
+                costs.fwd_s[s],
+                _lane(p, s),
+                kind="compute",
+                priority=(-100.0 + cell.slot) if hoist else float(cell.slot),
+                deps=tuple(deps),
+            )
+            prev = name
+    return graph
+
+
+def compile_strategy_schedule(
+    ctx,
+    strategy: str,
+    schedule: TabularSchedule,
+    gpu_kind: str = "rtx3090",
+) -> TaskGraph:
+    """Price + compile in one call (the scenario matrix's entry point)."""
+    costs = schedule_costs_from_context(
+        ctx, strategy, schedule.n_stages, schedule.n_microbatches,
+        gpu_kind=gpu_kind,
+    )
+    return compile_schedule(schedule, costs)
+
+
+def bubble_fraction(trace, n_stages: int) -> float:
+    """Pipeline bubble off an executed trace: the idle fraction of the
+    stage compute lanes (1 - busy / (stages x makespan))."""
+    check_positive("n_stages", n_stages)
+    if trace.makespan <= 0:
+        return 0.0
+    lanes = (
+        ["compute"] if n_stages == 1 else [f"compute:{s}" for s in range(n_stages)]
+    )
+    busy = sum(trace.busy_time(lane) for lane in lanes)
+    return 1.0 - busy / (n_stages * trace.makespan)

@@ -128,6 +128,9 @@ class EmbeddingGradStats:
 
 def _table_ids(batch: Batch, table: str, pad_id: int = 0) -> np.ndarray:
     """Raw (duplicate- and padding-containing) id stream for a table."""
+    streams = getattr(batch, "streams", None)
+    if streams and table in streams:
+        return streams[table].ravel()
     if table in ("embedding", "encoder_embedding"):
         return batch.inputs.ravel()
     if table in ("softmax_embedding", "decoder_embedding"):

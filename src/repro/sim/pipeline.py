@@ -36,15 +36,27 @@ def chain_steps(graph: TaskGraph, n_steps: int) -> TaskGraph:
     # Identify the FP task of each block (fp:<block>) to gate the next
     # step's corresponding BP task (bp:<block>).
     fp_names = {name for name in graph.tasks if name.startswith("fp:")}
+    # Every backward must have a matching forward: a bp:<block> without
+    # fp:<block> would silently lose its cross-step dependency, letting
+    # step k's backward start before step k's forward ever ran.
+    orphans = sorted(
+        name[len("bp:"):]
+        for name in graph.tasks
+        if name.startswith("bp:") and f"fp:{name[len('bp:'):]}" not in fp_names
+    )
+    if orphans:
+        raise ValueError(
+            f"chain_steps: backward tasks without a matching forward "
+            f"(bp:<block> needs fp:<block>): {orphans}; the cross-step "
+            f"fp->bp dependency cannot be wired for these blocks"
+        )
     out = TaskGraph()
     for step in range(n_steps):
         for task in graph.tasks.values():
             deps = [f"s{step}:{d}" for d in task.deps]
             if step > 0 and task.name.startswith("bp:"):
                 block = task.name[len("bp:") :]
-                fp = f"fp:{block}"
-                if fp in fp_names:
-                    deps.append(f"s{step - 1}:{fp}")
+                deps.append(f"s{step - 1}:fp:{block}")
             out.add(
                 Task(
                     name=f"s{step}:{task.name}",

@@ -73,6 +73,8 @@ class Candidate:
                     for v in (k.hier_dense, k.hier_sparse, k.hier_hot)
                 )
             )
+        if k.schedule != "data_parallel":
+            parts.append(f"{k.schedule}@{k.pipeline_stages}x{k.microbatches}")
         if self.transport:
             parts.append(self.transport)
         return " ".join(parts)
@@ -96,12 +98,22 @@ class SearchSpace:
     hier: tuple[bool | None, ...] = (None,)
     strategy: tuple[str, ...] = ("embrace",)
     transport: tuple[str | None, ...] = (None,)
+    #: Pipeline-parallel axes (simulator-only): a ``schedule`` other than
+    #: ``data_parallel`` compiles the corresponding
+    #: :class:`~repro.schedule.TabularSchedule` instead of the flat
+    #: overlapped step graph.  ``data_parallel`` entries normalize the
+    #: stage/microbatch axes to 1x1, so mixing it with pipeline grids
+    #: does not multiply the candidate count.
+    schedule: tuple[str, ...] = ("data_parallel",)
+    pipeline_stages: tuple[int, ...] = (2,)
+    microbatches: tuple[int, ...] = (2,)
 
     def __post_init__(self):
         for name in (
             "chunk_elems", "max_chunks", "bucket_elems",
             "delayed_min_rows", "dense_switch_density", "hot_fraction",
             "repartition_interval", "hier", "strategy", "transport",
+            "schedule", "pipeline_stages", "microbatches",
         ):
             if not getattr(self, name):
                 raise ValueError(f"SearchSpace.{name} must be non-empty")
@@ -119,25 +131,31 @@ class SearchSpace:
         """The grid in deterministic (itertools.product) order; knob
         validation happens in each :class:`~repro.comm.SchedKnobs`."""
         out = []
-        for ce, mc, be, dm, ds, hf, ri, hi, st, tr in itertools.product(
+        seen: set[Candidate] = set()
+        for ce, mc, be, dm, ds, hf, ri, hi, st, tr, sc, ps, mb in itertools.product(
             self.chunk_elems, self.max_chunks, self.bucket_elems,
             self.delayed_min_rows, self.dense_switch_density,
             self.hot_fraction, self.repartition_interval,
             self.hier, self.strategy, self.transport,
+            self.schedule, self.pipeline_stages, self.microbatches,
         ):
-            out.append(
-                Candidate(
-                    knobs=SchedKnobs(
-                        chunk_elems=ce, max_chunks=mc,
-                        bucket_elems=be, delayed_min_rows=dm,
-                        dense_switch_density=ds,
-                        hot_fraction=hf, repartition_interval=ri,
-                        hier_dense=hi, hier_sparse=hi, hier_hot=hi,
-                    ),
-                    strategy=st,
-                    transport=tr,
-                )
+            if sc == "data_parallel":
+                ps, mb = 1, 1
+            cand = Candidate(
+                knobs=SchedKnobs(
+                    chunk_elems=ce, max_chunks=mc,
+                    bucket_elems=be, delayed_min_rows=dm,
+                    dense_switch_density=ds,
+                    hot_fraction=hf, repartition_interval=ri,
+                    hier_dense=hi, hier_sparse=hi, hier_hot=hi,
+                    schedule=sc, pipeline_stages=ps, microbatches=mb,
+                ),
+                strategy=st,
+                transport=tr,
             )
+            if cand not in seen:  # data_parallel collapses the stage axes
+                seen.add(cand)
+                out.append(cand)
         return out
 
 
@@ -374,6 +392,90 @@ class PredictedRun:
     n_steps: int
 
 
+def _pipeline_costs(cost, workload: MeasuredWorkload, candidate: Candidate):
+    """Distill a :class:`MeasuredWorkload` into per-stage
+    :class:`~repro.schedule.ScheduleCosts` for the tabular compiler.
+
+    The measured fused ``fwd_bwd`` span is split 1:2 into forward and
+    backward (the usual one-pass vs two-pass ratio) and spread evenly
+    across stages and microbatches; dense gradient volume splits evenly
+    across stages; every embedding table lives on stage 0 (the repo's
+    embedding-first block order).  Activation sends are priced at pure
+    link latency — the workload model does not record activation sizes.
+    """
+    from repro.schedule.tabular import ScheduleCosts
+
+    k = candidate.knobs
+    p, m = k.pipeline_stages, k.microbatches
+    fwd_total = workload.fwd_bwd_s / 3.0
+    bwd_total = workload.fwd_bwd_s - fwd_total
+    dense_elems = sum(size for _, size in workload.dense_param_sizes)
+    dense_b = dense_elems * DTYPE_BYTES / p
+    prior_b = sum(t.prior_bytes for t in workload.tables)
+    delayed_b = sum(t.delayed_bytes for t in workload.tables)
+    coalesced_b = sum(t.coalesced_bytes for t in workload.tables)
+    densified_b = sum(t.dense_bytes for t in workload.tables)
+    dense_s = [cost.allreduce(dense_b).seconds] * p
+    sparse = [0.0] * p
+    prior = [0.0] * p
+    delayed = [0.0] * p
+    if candidate.strategy == "embrace":
+        sparse[0] = cost.alltoall(coalesced_b).seconds
+        prior[0] = cost.alltoall(prior_b).seconds
+        delayed[0] = cost.alltoall(delayed_b).seconds
+    elif candidate.strategy == "allgather":
+        sparse[0] = cost.allgather(coalesced_b).seconds
+    else:  # "allreduce": densified tables ride stage 0's dense lane
+        dense_s[0] = cost.allreduce(dense_b + densified_b).seconds
+    return ScheduleCosts(
+        n_stages=p,
+        n_microbatches=m,
+        fwd_s=tuple(fwd_total / (p * m) for _ in range(p)),
+        bwd_s=tuple(bwd_total / (p * m) for _ in range(p)),
+        act_send_s=tuple(
+            cost.point_to_point(0.0).seconds for _ in range(p - 1)
+        ),
+        dense_s=tuple(dense_s),
+        sparse_s=tuple(sparse),
+        prior_s=tuple(prior),
+        delayed_s=tuple(delayed),
+        opt_s=tuple(workload.optimizer_s / p for _ in range(p)),
+        opt_delayed_s=tuple(0.0 for _ in range(p)),
+    )
+
+
+def _predict_pipeline(
+    cost, workload: MeasuredWorkload, candidate: Candidate, n_steps: int
+) -> PredictedRun:
+    """Pipeline-schedule candidates: compile the table, chain, execute.
+
+    The knob-independent ``step_overhead_s`` is added on top of the
+    simulated step, same as the host task in the data-parallel graph.
+    """
+    from repro.schedule.tabular import build_schedule, compile_schedule
+    from repro.sim.pipeline import chain_steps
+
+    k = candidate.knobs
+    schedule = build_schedule(k.schedule, k.pipeline_stages, k.microbatches)
+    graph = compile_schedule(schedule, _pipeline_costs(cost, workload, candidate))
+    trace = execute(chain_steps(graph, n_steps))
+    makespan = trace.makespan + n_steps * workload.step_overhead_s
+    lanes = (
+        ["compute"]
+        if k.pipeline_stages == 1
+        else [f"compute:{s}" for s in range(k.pipeline_stages)]
+    )
+    stall = sum(trace.computation_stall(lane) for lane in lanes) / len(lanes)
+    stall += n_steps * workload.step_overhead_s
+    return PredictedRun(
+        candidate=candidate,
+        step_time_s=makespan / n_steps,
+        stall_frac=stall / makespan if makespan > 0 else 0.0,
+        makespan_s=makespan,
+        n_steps=n_steps,
+    )
+
+
 def predict_candidate(
     profile: TunedProfile,
     workload: MeasuredWorkload,
@@ -401,6 +503,8 @@ def predict_candidate(
     if world_size is not None and world_size != workload.world_size:
         workload = workload.scaled_to(world_size)
     k = candidate.knobs
+    if k.schedule != "data_parallel":
+        return _predict_pipeline(cost, workload, candidate, n_steps)
     multi = cost.cluster.multi_node
     hier_dense = k.hierarchical("dense", multi)
     hier_sparse = k.hierarchical("sparse", multi)

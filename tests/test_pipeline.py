@@ -42,6 +42,16 @@ class TestChainSteps:
         with pytest.raises(ValueError):
             steady_state_step_time(graph, n_steps=1)
 
+    def test_orphan_bp_rejected(self):
+        """A bp:<block> without fp:<block> cannot be wired across steps;
+        chain_steps must say so instead of silently dropping the dep."""
+        g = TaskGraph()
+        g.add_task("bp:x", 1.0, "compute")
+        g.add_task("fp:x", 1.0, "compute", deps=("bp:x",))
+        g.add_task("bp:ghost", 1.0, "compute")
+        with pytest.raises(ValueError, match="ghost"):
+            chain_steps(g, 2)
+
     def test_synthetic_graph_pipelines(self):
         """Comm of step k overlaps compute of step k+1 once chained."""
         g = TaskGraph()

@@ -408,3 +408,77 @@ class TestPipeline:
         out = capsys.readouterr().out
         assert "fitted alpha-beta links" in out
         assert "winner" in out
+
+
+class TestScheduleAxis:
+    """The pipeline-schedule dimension of the search space."""
+
+    def make_candidate(self, schedule="1f1b", stages=2, microbatches=2):
+        base = default_candidate()
+        knobs = dataclasses.replace(
+            base.knobs,
+            schedule=schedule,
+            pipeline_stages=stages,
+            microbatches=microbatches,
+        )
+        return dataclasses.replace(base, knobs=knobs)
+
+    def test_data_parallel_axes_deduped(self):
+        """data_parallel collapses the stage/microbatch axes to 1x1, so
+        the grid holds one data-parallel point plus the pipelined ones."""
+        space = SearchSpace(
+            chunk_elems=(4096,), max_chunks=(2,), bucket_elems=(8192,),
+            schedule=("data_parallel", "1f1b"),
+            pipeline_stages=(2, 4), microbatches=(2, 4),
+        )
+        cands = space.candidates()
+        assert len(cands) == 1 + 4
+        dp = [c for c in cands if c.knobs.schedule == "data_parallel"]
+        assert len(dp) == 1
+        assert dp[0].knobs.pipeline_stages == dp[0].knobs.microbatches == 1
+
+    def test_label_names_the_schedule(self):
+        assert "1f1b@2x4" in self.make_candidate(microbatches=4).label()
+        assert "@" not in default_candidate().label()
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError, match="schedule"):
+            dataclasses.replace(default_candidate().knobs, schedule="zigzag")
+        with pytest.raises(ValueError, match="data_parallel"):
+            dataclasses.replace(
+                default_candidate().knobs,
+                schedule="data_parallel", pipeline_stages=2,
+            )
+
+    def test_pipeline_prediction_routes_and_orders(self):
+        profile = make_profile()
+        workload = make_workload()
+        runs = {
+            name: predict_candidate(
+                profile, workload, self.make_candidate(schedule=name), n_steps=4
+            )
+            for name in ("gpipe", "1f1b", "nested")
+        }
+        for run in runs.values():
+            assert run.step_time_s > 0
+            assert run.stall_frac >= 0
+        assert runs["1f1b"].step_time_s <= runs["gpipe"].step_time_s + 1e-12
+        assert runs["nested"].step_time_s <= runs["gpipe"].step_time_s + 1e-12
+
+    def test_data_parallel_prediction_unchanged_by_axes(self):
+        """Adding the schedule axes must not perturb the existing
+        data-parallel prediction path."""
+        profile = make_profile()
+        workload = make_workload()
+        base = predict_candidate(profile, workload, default_candidate(), n_steps=4)
+        again = predict_candidate(
+            profile, workload,
+            self.make_candidate(schedule="data_parallel", stages=1, microbatches=1),
+            n_steps=4,
+        )
+        assert again.step_time_s == pytest.approx(base.step_time_s, rel=1e-12)
+
+    def test_real_trainer_rejects_pipeline_schedules(self):
+        knobs = self.make_candidate().knobs
+        with pytest.raises(ValueError, match="simulator-only"):
+            RealTrainer(GNMT8.tiny(), world_size=2, knobs=knobs)
